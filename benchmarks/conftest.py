@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates the data behind one figure or table of the paper
+at laptop scale (see EXPERIMENTS.md for the scale mapping) and prints the
+resulting series so the run doubles as a reproduction report.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def benchmark_seed() -> int:
+    """A fixed seed so benchmark numbers are reproducible run to run."""
+    return 20240427
+
+
+def print_series(title: str, rows) -> None:
+    """Print a small table of (label, value) rows under a title."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("   ", row)

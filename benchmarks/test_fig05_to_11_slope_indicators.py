@@ -1,0 +1,71 @@
+"""Benchmarks for Figs. 5-11: slope vs per-chiplet quality indicators.
+
+Paper scale: l = 11, 50 defective chiplets per distance value, p swept over
+[5e-4, 2e-3] with enough shots to resolve LERs below 1e-6.  Laptop scale
+(defaults here): l = 5-7, a handful of chiplets, p in [4e-3, 8e-3] and a few
+thousand shots - enough to show the qualitative structure: slopes grow with
+the adapted code distance (Fig. 5), and the chosen indicators (distance, then
+number of shortest logicals) rank chiplets better than the faulty-qubit count
+(Figs. 7-11).
+"""
+
+import pytest
+
+from repro.experiments.paper import figure5_to_10_study, figure11_postselection
+
+from conftest import print_series
+
+
+@pytest.fixture(scope="module")
+def study(benchmark_seed):
+    return figure5_to_10_study(
+        size=5,
+        defect_rate=0.03,
+        num_patches=5,
+        physical_error_rates=(0.004, 0.006, 0.009),
+        shots=1500,
+        seed=benchmark_seed,
+    )
+
+
+def test_fig05_slope_vs_distance(benchmark, study):
+    def series():
+        return {
+            d: round(study.mean_slope(d), 2)
+            for d in sorted(study.by_distance())
+        }
+
+    result = benchmark.pedantic(series, rounds=1, iterations=1)
+    print_series("Fig. 5 - mean log-log slope by adapted code distance", result.items())
+    assert result
+
+
+def test_fig07_to_10_indicator_table(benchmark, study):
+    def table():
+        rows = []
+        for rec in study.records:
+            rows.append({
+                "d": rec.metrics.distance,
+                "log_num_shortest": rec.metrics.num_shortest,
+                "disabled_fraction": round(rec.metrics.disabled_data_fraction, 3),
+                "cluster_diameter": rec.metrics.largest_cluster_diameter,
+                "faulty_qubits": rec.metrics.num_faulty_qubits,
+                "slope": None if rec.slope is None else round(rec.slope, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(table, rounds=1, iterations=1)
+    print_series("Figs. 7-10 - per-chiplet indicators vs measured slope", rows)
+    assert len(rows) == len(study.records)
+
+
+def test_fig11_postselection_ranking(benchmark, study):
+    def run():
+        return figure11_postselection(study, keep_fractions=(0.4, 0.7, 1.0))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 11 - (fraction, mean slope, worst slope) per strategy",
+                 result.items())
+    # Both strategies must produce one row per keep fraction.
+    assert len(result["chosen"]) == 3
+    assert len(result["baseline"]) == 3

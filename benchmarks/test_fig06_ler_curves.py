@@ -1,0 +1,38 @@
+"""Benchmark for Fig. 6: logical vs physical error rate curves.
+
+Paper scale: defect-free d = 5..11 and defective l = 11 patches at
+p in [5e-4, 2e-3].  Laptop scale: defect-free d = 3, 5 and defective l = 5
+patches at p in [3e-3, 8e-3]; the qualitative features preserved are the
+ordering of the curves (larger distance = lower LER at low p) and the
+exponential suppression with distance.
+"""
+
+from repro.experiments.paper import figure6_curves
+
+from conftest import print_series
+
+
+def test_fig06_ler_vs_p_curves(benchmark, benchmark_seed):
+    def run():
+        return figure6_curves(
+            defect_free_sizes=(3, 5),
+            defective_size=5,
+            num_defective=1,
+            defect_rate=0.02,
+            physical_error_rates=(0.003, 0.005, 0.008),
+            shots=2000,
+            seed=benchmark_seed,
+        )
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 6 - LER vs p", curves.items())
+
+    d3 = dict(curves["defect-free d=3"])
+    d5 = dict(curves["defect-free d=5"])
+    # At the lowest sampled p the d=5 patch must not be worse than d=3
+    # (exponential suppression with distance).
+    assert d5[0.003] <= d3[0.003] + 0.01
+    # Every curve is monotone-ish in p: highest p gives the highest LER.
+    for series in curves.values():
+        rates = dict(series)
+        assert rates[0.008] >= rates[0.003] - 0.005

@@ -1,0 +1,74 @@
+"""Benchmarks for Figs. 14-16: lattice-surgery boundaries and chiplet rotation.
+
+* Fig. 14: a concrete example where two individually-acceptable patches lose
+  seam distance when merged because their boundary deformations align.
+* Fig. 15: yield under boundary standards 1-4 - the strictest standard
+  (no deformation on any edge) costs the most yield.
+* Fig. 16: the freedom to swap data/syndrome roles (rotate the chiplet)
+  improves yield when qubit defects are present.
+"""
+
+import pytest
+
+from repro.experiments.paper import (
+    figure14_merge_example,
+    figure15_boundary,
+    figure16_rotation,
+)
+
+from conftest import print_series
+
+
+def test_fig14_merge_distance_drop(benchmark):
+    result = benchmark.pedantic(figure14_merge_example, kwargs={"size": 9},
+                                rounds=1, iterations=1)
+    print_series("Fig. 14 - merged seam distance", result.items())
+    # Each patch individually keeps a high distance...
+    assert result["patch_a_distance"] >= result["merged_seam_distance"]
+    # ...but the merged seam is strictly shorter than an intact seam.
+    assert result["merged_seam_distance"] < result["intact_seam_distance"]
+
+
+def test_fig15_boundary_standards(benchmark, benchmark_seed):
+    def run():
+        return figure15_boundary(
+            chiplet_size=9,
+            target_distance=7,
+            defect_rates=(0.005, 0.01),
+            samples=80,
+            seed=benchmark_seed,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 15 - yield under boundary standards", result.items())
+
+    def yields(name):
+        return dict(result[name])
+
+    for rate in (0.005, 0.01):
+        unrestricted = yields("no requirement")[rate]
+        strictest = yields("standard 1")[rate]
+        relaxed = yields("standard 4")[rate]
+        # Standard 1 is the most restrictive; standard 4 sits between it and
+        # the unrestricted yield.
+        assert strictest <= relaxed + 0.05
+        assert relaxed <= unrestricted + 0.05
+
+
+def test_fig16_rotation_freedom(benchmark, benchmark_seed):
+    def run():
+        return figure16_rotation(
+            chiplet_sizes=(7,),
+            target_distance=5,
+            defect_rates=(0.005, 0.01),
+            samples=100,
+            seed=benchmark_seed,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 16 - yield with / without rotation", result.items())
+    plain = dict(result["l=7"])
+    rotated = dict(result["l=7 (rotation)"])
+    for rate in (0.005, 0.01):
+        # Rotation can only help (up to Monte-Carlo noise).
+        assert rotated[rate] >= plain[rate] - 0.05

@@ -1,0 +1,65 @@
+"""Benchmarks for Figs. 18-19: overhead envelopes and distance distributions.
+
+* Fig. 18: for each target fidelity (code distance), the minimum extra
+  resource overhead achievable by choosing the chiplet size, as a function of
+  the defect rate - the headline "below 3x / 6x at 1%" result, reproduced here
+  at reduced scale.
+* Fig. 19: the code-distance distribution of sampled chiplets, the input to
+  the application-fidelity estimates of Tables 3-4.
+"""
+
+import pytest
+
+from repro.experiments.paper import figure18_envelope, figure19_distance_distribution
+from repro.noise.fabrication import LINK_AND_QUBIT, LINK_ONLY
+
+from conftest import print_series
+
+
+def test_fig18_minimum_extra_overhead(benchmark, benchmark_seed):
+    def run():
+        return figure18_envelope(
+            target_distances=(5, 7),
+            chiplet_sizes_by_target={5: (5, 7, 9), 7: (7, 9, 11)},
+            defect_rates=(0.002, 0.005, 0.01),
+            defect_model_kind=LINK_ONLY,
+            samples=60,
+            seed=benchmark_seed,
+        )
+
+    envelopes = benchmark.pedantic(run, rounds=1, iterations=1)
+    for target, env in envelopes.items():
+        print_series(
+            f"Fig. 18 - minimum extra overhead, target d={target}",
+            [(f"f={rate}", f"l*={p.chiplet_size}", f"overhead={p.overhead:.2f}")
+             for rate, p in env.items()],
+        )
+    for target, env in envelopes.items():
+        overheads = [p.overhead for _, p in sorted(env.items())]
+        # The envelope stays finite and within a small factor at 1% defects
+        # (the paper's headline is < 3x for link-only defects at 1%).
+        assert overheads[-1] < 12.0
+        # And it grows (weakly) with the defect rate.
+        assert overheads[-1] >= overheads[0] - 0.2
+
+
+def test_fig19_distance_distribution(benchmark, benchmark_seed):
+    def run():
+        return figure19_distance_distribution(
+            chiplet_size=11,
+            defect_rate=0.003,
+            defect_model_kind=LINK_AND_QUBIT,
+            target_distance=7,
+            samples=150,
+            seed=benchmark_seed,
+        )
+
+    distribution = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_series("Fig. 19 - code-distance distribution (l=11, f=0.3%)",
+                 sorted(distribution.items()))
+    assert abs(sum(distribution.values()) - 1.0) < 1e-9
+    # The bulk of the distribution sits below the chiplet width and above zero,
+    # with most patches keeping a distance close to the width (low defect rate).
+    assert max(distribution) <= 11
+    most_common = max(distribution, key=distribution.get)
+    assert most_common >= 7

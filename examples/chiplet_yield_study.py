@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Chiplet post-selection and resource-overhead study (Figs. 12-13, 18 style).
+
+For a target logical-qubit quality (a defect-free distance-5 patch) this
+script sweeps the fabrication defect rate and the chiplet size, estimates the
+yield of post-selected chiplets, converts it into the average number of
+fabricated physical qubits per logical qubit, and reports the optimal chiplet
+size per defect rate - the co-design decision the paper is about.
+
+Run with ``python examples/chiplet_yield_study.py``.
+"""
+
+from repro.chiplet import OverheadStudy, defect_intolerant_overhead, optimal_chiplet_size
+from repro.noise import DefectModel, LINK_ONLY
+
+
+def main() -> None:
+    target_distance = 5
+    chiplet_sizes = (5, 7, 9)
+    defect_rates = (0.0, 0.005, 0.01, 0.02)
+
+    study = OverheadStudy(
+        target_distance=target_distance,
+        defect_model_kind=LINK_ONLY,
+        chiplet_sizes=chiplet_sizes,
+        defect_rates=defect_rates,
+        samples=80,
+        seed=11,
+    )
+    points = study.run()
+
+    print(f"Target: match a defect-free distance-{target_distance} patch "
+          f"(link-only defect model)\n")
+    header = f"{'rate':>6} | " + " | ".join(f"l={l:>2}" for l in chiplet_sizes) + " | baseline | optimal l"
+    print(header)
+    print("-" * len(header))
+    for rate in defect_rates:
+        cells = []
+        for size in chiplet_sizes:
+            point = next(p for p in points
+                         if p.chiplet_size == size and p.defect_rate == rate)
+            cells.append(f"{point.overhead:4.1f}x")
+        baseline = defect_intolerant_overhead(
+            target_distance, DefectModel(LINK_ONLY, rate), target_distance
+        ) if rate > 0 else 1.0
+        best = optimal_chiplet_size(points, rate)
+        print(f"{rate:>6} | " + " | ".join(cells)
+              + f" | {baseline:7.1f}x | l={best.chiplet_size} ({best.overhead:.1f}x)")
+
+    print("\nReading: each cell is the average number of fabricated physical "
+          "qubits per logical qubit,\nrelative to the ideal no-defect case. "
+          "The defect-intolerant baseline explodes with the defect\nrate "
+          "while the super-stabilizer approach stays within a small factor "
+          "when the chiplet size\nis chosen appropriately (the paper's "
+          "headline result).")
+
+
+if __name__ == "__main__":
+    main()

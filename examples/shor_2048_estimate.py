@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Shor-2048 case study (Tables 1-4 of the paper).
+
+Estimates what it takes to build the 226 x 63 grid of surface-code patches
+needed for factoring a 2048-bit integer (Gidney & Ekera), when chiplets are
+fabricated with a given defect rate:
+
+* the ideal no-defect cost,
+* the defect-intolerant baseline (only zero-defect chiplets are accepted),
+* the super-stabilizer approach at a chosen chiplet size,
+
+and the resulting application fidelity from the topological-error model.
+
+The full paper-scale numbers use target distance 27 and chiplet widths 33-39;
+that is a long Monte-Carlo run, so this example uses a scaled-down target by
+default.  Pass ``--paper-scale`` for the full-size study (several minutes).
+
+Run with ``python examples/shor_2048_estimate.py``.
+"""
+
+import argparse
+
+from repro.chiplet import ShorWorkload
+from repro.experiments.paper import table1_and_2_resources, table3_and_4_fidelity
+
+
+def report(defect_rate: float, chiplet_size: int, workload: ShorWorkload,
+           samples: int) -> None:
+    resources = table1_and_2_resources(
+        defect_rate=defect_rate,
+        chiplet_size=chiplet_size,
+        workload=workload,
+        samples=samples,
+        seed=5,
+    )
+    fidelities = table3_and_4_fidelity(resources, workload=workload)
+
+    print(f"\nDefect rate {defect_rate:.1%} "
+          f"(target distance {workload.target_distance}, chiplet width {chiplet_size})")
+    print(f"{'approach':>20} | {'l':>3} | {'yield':>9} | {'overhead':>9} | "
+          f"{'qubits':>10} | fidelity")
+    print("-" * 78)
+    for name, est in resources.items():
+        print(f"{name:>20} | {est.chiplet_size:>3} | {est.yield_fraction:>9.3g} | "
+              f"{est.overhead:>9.3g} | {est.total_fabricated_qubits:>10.3g} | "
+              f"{fidelities[name]:.3f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="run the full d=27 / l=33..39 study (slow)")
+    args = parser.parse_args()
+
+    if args.paper_scale:
+        workload = ShorWorkload()          # d = 27, 226 x 63 patches, 25e9 rounds
+        cases = [(0.001, 33, 200), (0.003, 39, 200)]
+    else:
+        workload = ShorWorkload(target_distance=9)
+        cases = [(0.001, 13, 80), (0.003, 13, 80)]
+
+    print("Shor-2048 resource and fidelity estimates "
+          f"({'paper' if args.paper_scale else 'reduced'} scale)")
+    for rate, size, samples in cases:
+        report(rate, size, workload, samples)
+
+
+if __name__ == "__main__":
+    main()

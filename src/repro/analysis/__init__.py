@@ -1,0 +1,14 @@
+"""Statistics and curve-fitting helpers."""
+
+from .fitting import SlopeFit, fit_ler_ansatz, fit_loglog_slope, projected_ler
+from .stats import BinomialEstimate, combine_estimates, wilson_interval
+
+__all__ = [
+    "SlopeFit",
+    "fit_ler_ansatz",
+    "fit_loglog_slope",
+    "projected_ler",
+    "BinomialEstimate",
+    "combine_estimates",
+    "wilson_interval",
+]

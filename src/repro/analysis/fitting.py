@@ -1,0 +1,77 @@
+"""Curve fitting for logical-error-rate scaling.
+
+The paper characterises each patch by the gradient of its log-log LER-vs-p
+curve (the "slope"), which by the ansatz ``LER = beta (N p)**(alpha d)``
+(Eq. 1) approaches ``alpha d ~ d/2`` at low physical error rates.  This
+module provides the least-squares log-log fit used to extract that slope, and
+the full ansatz fit used in tests of the scaling behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SlopeFit", "fit_loglog_slope", "fit_ler_ansatz", "projected_ler"]
+
+
+@dataclass(frozen=True)
+class SlopeFit:
+    """Result of a log-log linear fit ``log(LER) = slope * log(p) + intercept``."""
+
+    slope: float
+    intercept: float
+    residual: float
+    num_points: int
+
+    def predict(self, p: float) -> float:
+        return math.exp(self.intercept + self.slope * math.log(p))
+
+
+def fit_loglog_slope(
+    physical_error_rates: Sequence[float],
+    logical_error_rates: Sequence[float],
+) -> SlopeFit:
+    """Least-squares fit of log(LER) against log(p).
+
+    Points with a zero logical error rate are dropped (they carry no log
+    information); at least two informative points are required.
+    """
+    xs, ys = [], []
+    for p, ler in zip(physical_error_rates, logical_error_rates):
+        if p <= 0:
+            raise ValueError("physical error rates must be positive")
+        if ler <= 0:
+            continue
+        xs.append(math.log(p))
+        ys.append(math.log(ler))
+    if len(xs) < 2:
+        raise ValueError("need at least two non-zero LER points to fit a slope")
+    coeffs, residuals, *_ = np.polyfit(xs, ys, 1, full=True)
+    residual = float(residuals[0]) if len(residuals) else 0.0
+    return SlopeFit(slope=float(coeffs[0]), intercept=float(coeffs[1]),
+                    residual=residual, num_points=len(xs))
+
+
+def fit_ler_ansatz(
+    physical_error_rates: Sequence[float],
+    logical_error_rates: Sequence[float],
+    distance: int,
+) -> Tuple[float, float]:
+    """Fit ``LER = beta * (N p)**(alpha d)`` and return ``(alpha, beta*N**(alpha d))``.
+
+    The fit is performed in log space; ``alpha`` is the slope divided by the
+    code distance.
+    """
+    fit = fit_loglog_slope(physical_error_rates, logical_error_rates)
+    alpha = fit.slope / distance
+    prefactor = math.exp(fit.intercept)
+    return alpha, prefactor
+
+
+def projected_ler(slope_fit: SlopeFit, p: float) -> float:
+    """Logical error rate extrapolated from a fitted slope to a new ``p``."""
+    return slope_fit.predict(p)

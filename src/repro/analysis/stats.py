@@ -1,0 +1,62 @@
+"""Statistics helpers: binomial confidence intervals and LER aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["BinomialEstimate", "wilson_interval", "combine_estimates"]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used for the shaded 95% confidence bands of the LER plots (Fig. 6).
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    if successes < 0 or successes > trials:
+        raise ValueError("successes must lie in [0, trials]")
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+    low = max(0.0, (centre - margin) / denom)
+    high = min(1.0, (centre + margin) / denom)
+    return (low, high)
+
+
+@dataclass(frozen=True)
+class BinomialEstimate:
+    """A logical-error-rate estimate with its sampling information."""
+
+    failures: int
+    shots: int
+
+    def __post_init__(self) -> None:
+        if self.shots <= 0:
+            raise ValueError("shots must be positive")
+        if not 0 <= self.failures <= self.shots:
+            raise ValueError("failures must lie in [0, shots]")
+
+    @property
+    def rate(self) -> float:
+        return self.failures / self.shots
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        return wilson_interval(self.failures, self.shots, z)
+
+    @property
+    def standard_error(self) -> float:
+        p = self.rate
+        return math.sqrt(max(p * (1 - p), 1e-300) / self.shots)
+
+    def __str__(self) -> str:
+        lo, hi = self.confidence_interval()
+        return f"{self.rate:.3e} [{lo:.3e}, {hi:.3e}] ({self.failures}/{self.shots})"
+
+
+def combine_estimates(a: BinomialEstimate, b: BinomialEstimate) -> BinomialEstimate:
+    """Pool two independent estimates of the same rate."""
+    return BinomialEstimate(failures=a.failures + b.failures, shots=a.shots + b.shots)

@@ -1,0 +1,184 @@
+"""Modular chiplet architecture: chiplets, orientation freedom, devices.
+
+Each chiplet carries one rotated surface-code patch (Sec. 4.1, Fig. 4).  A
+chiplet's fabrication defects are fixed at manufacturing time; what the
+architect controls is
+
+* whether the chiplet is accepted at all (post-selection, Sec. 4.2), and
+* how the patch is laid onto the chiplet - in particular the freedom to swap
+  the roles of data and measurement qubits by rotating the chiplet 180
+  degrees (equivalently translating the patch by one physical site), which
+  helps when a chiplet has more faulty measurement qubits than faulty data
+  qubits (Fig. 16).
+
+:class:`Chiplet` lazily adapts and evaluates its patch; :class:`ChipletDevice`
+is a grid of accepted chiplets used by the application-level estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.adaptation import adapt_patch
+from ..core.metrics import PatchMetrics, evaluate_patch
+from ..core.patch import AdaptedPatch
+from ..core.postselection import PostSelectionCriterion
+from ..noise.fabrication import DefectModel, DefectSet
+from ..surface_code.layout import Coord, RotatedSurfaceCodeLayout
+
+__all__ = ["Chiplet", "ChipletDevice", "swap_data_syndrome_roles"]
+
+
+def swap_data_syndrome_roles(defects: DefectSet, size: int) -> DefectSet:
+    """Defect coordinates after swapping the data/measurement-qubit assignment.
+
+    The swap is modelled as the paper's alternative formulation: translating
+    the logical patch by one physical site diagonally, so a defect that used
+    to sit under a data qubit now sits under a measurement qubit and vice
+    versa.  Sites pushed past the patch boundary are translated in the
+    opposite direction instead, which keeps the defect count unchanged.
+    """
+    limit = 2 * size
+
+    def move(coord: Coord) -> Coord:
+        x, y = coord
+        nx = x + 1 if x + 1 <= limit else x - 1
+        ny = y + 1 if y + 1 <= limit else y - 1
+        return (nx, ny)
+
+    def move_link(link: Tuple[Coord, Coord]) -> Tuple[Coord, Coord]:
+        a, b = link
+        # Translate both endpoints by the same vector so they stay adjacent.
+        dx = 1 if max(a[0], b[0]) + 1 <= limit else -1
+        dy = 1 if max(a[1], b[1]) + 1 <= limit else -1
+        return ((a[0] + dx, a[1] + dy), (b[0] + dx, b[1] + dy))
+
+    return DefectSet(
+        faulty_qubits=frozenset(move(q) for q in defects.faulty_qubits),
+        faulty_links=frozenset(move_link(l) for l in defects.faulty_links),
+    )
+
+
+@dataclass
+class Chiplet:
+    """One fabricated chiplet carrying a single surface-code patch."""
+
+    layout: RotatedSurfaceCodeLayout
+    defects: DefectSet
+    rotated: bool = False
+
+    @classmethod
+    def sample(cls, size: int, defect_model: DefectModel,
+               rng: np.random.Generator | int | None = None) -> "Chiplet":
+        layout = RotatedSurfaceCodeLayout(size)
+        return cls(layout=layout, defects=defect_model.sample(layout, rng))
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def patch(self) -> AdaptedPatch:
+        defects = self.defects
+        if self.rotated:
+            defects = swap_data_syndrome_roles(defects, self.layout.size)
+        return adapt_patch(self.layout, defects)
+
+    @cached_property
+    def metrics(self) -> PatchMetrics:
+        return evaluate_patch(self.patch)
+
+    @property
+    def size(self) -> int:
+        return self.layout.size
+
+    @property
+    def num_fabricated_qubits(self) -> int:
+        return self.layout.num_fabricated_qubits
+
+    # ------------------------------------------------------------------
+    def rotate(self) -> "Chiplet":
+        """The same physical chiplet with the data/syndrome assignment swapped."""
+        return Chiplet(layout=self.layout, defects=self.defects,
+                       rotated=not self.rotated)
+
+    def best_orientation(self, criterion: PostSelectionCriterion) -> "Chiplet":
+        """Pick the orientation that satisfies the criterion (or the better one).
+
+        Models the Fig. 16 freedom: a chiplet is only discarded when *neither*
+        orientation meets the post-selection standard.
+        """
+        if criterion.accepts(self.metrics):
+            return self
+        rotated = self.rotate()
+        if criterion.accepts(rotated.metrics):
+            return rotated
+        # Neither passes: return the one with the better indicators anyway.
+        if (rotated.metrics.distance, -rotated.metrics.num_shortest) > (
+            self.metrics.distance, -self.metrics.num_shortest
+        ):
+            return rotated
+        return self
+
+
+@dataclass
+class ChipletDevice:
+    """A rectangular array of accepted chiplets (one logical qubit each)."""
+
+    rows: int
+    cols: int
+    chiplets: List[Chiplet] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.chiplets) > self.rows * self.cols:
+            raise ValueError("more chiplets than grid positions")
+
+    @property
+    def num_logical_qubits(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def is_complete(self) -> bool:
+        return len(self.chiplets) == self.rows * self.cols
+
+    def total_fabricated_qubits(self) -> int:
+        return sum(c.num_fabricated_qubits for c in self.chiplets)
+
+    def distance_distribution(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for c in self.chiplets:
+            out[c.metrics.distance] = out.get(c.metrics.distance, 0) + 1
+        return out
+
+    @classmethod
+    def assemble(
+        cls,
+        rows: int,
+        cols: int,
+        size: int,
+        defect_model: DefectModel,
+        criterion: PostSelectionCriterion,
+        *,
+        allow_rotation: bool = False,
+        rng: np.random.Generator | int | None = None,
+        max_attempts_per_slot: int = 1000,
+    ) -> Tuple["ChipletDevice", int]:
+        """Fabricate-and-select chiplets until the grid is full.
+
+        Returns the device and the total number of chiplets fabricated
+        (accepted plus discarded), which is what the resource-overhead metric
+        counts.
+        """
+        rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        accepted: List[Chiplet] = []
+        fabricated = 0
+        while len(accepted) < rows * cols:
+            if fabricated > max_attempts_per_slot * rows * cols:
+                raise RuntimeError("yield too low to assemble the device")
+            chiplet = Chiplet.sample(size, defect_model, rng)
+            fabricated += 1
+            candidate = chiplet.best_orientation(criterion) if allow_rotation else chiplet
+            if criterion.accepts(candidate.metrics):
+                accepted.append(candidate)
+        return cls(rows=rows, cols=cols, chiplets=accepted), fabricated

@@ -1,0 +1,148 @@
+"""Boundary constraints for lattice surgery between chiplets (Figs. 14-15).
+
+Lattice surgery merges two neighbouring patches along one edge.  Boundary
+deformations caused by defects near that edge can reduce the code distance of
+the *merged* patch even when each individual patch still meets its distance
+target (Fig. 14).  The paper therefore evaluates four post-selection
+standards on patch edges:
+
+* condition (a): an edge is completely free of deformations;
+* condition (b): the total width of deformations along the edge is not enough
+  to reduce the code distance after a merge (re-derived here as: the number
+  of deformed positions along the edge must not exceed ``l - d_target``);
+* scope (c): impose the condition on all four edges;
+* scope (d): impose it on at least two edges of different types (one X-type
+  and one Z-type edge), which is enough to schedule lattice surgery.
+
+Standard 1 = (a)+(c), standard 2 = (a)+(d), standard 3 = (b)+(c),
+standard 4 = (b)+(d), matching Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.patch import AdaptedPatch
+from ..surface_code.layout import Coord
+
+__all__ = [
+    "EDGES",
+    "edge_deformation_positions",
+    "edge_is_deformation_free",
+    "edge_deformation_width",
+    "BoundaryStandard",
+    "STANDARD_1",
+    "STANDARD_2",
+    "STANDARD_3",
+    "STANDARD_4",
+    "merged_seam_distance",
+]
+
+#: edge name -> (boundary check type hosted there)
+EDGES: Dict[str, str] = {"top": "X", "bottom": "X", "left": "Z", "right": "Z"}
+
+
+def _edge_positions(patch: AdaptedPatch, edge: str) -> List[Coord]:
+    """Data-qubit coordinates in the outermost row/column along an edge."""
+    l = patch.layout.size
+    if edge == "top":
+        return [(x, 1) for x in range(1, 2 * l, 2)]
+    if edge == "bottom":
+        return [(x, 2 * l - 1) for x in range(1, 2 * l, 2)]
+    if edge == "left":
+        return [(1, y) for y in range(1, 2 * l, 2)]
+    if edge == "right":
+        return [(2 * l - 1, y) for y in range(1, 2 * l, 2)]
+    raise ValueError(f"unknown edge {edge!r}")
+
+
+def edge_deformation_positions(patch: AdaptedPatch, edge: str) -> List[Coord]:
+    """Edge data-qubit positions affected by a deformation (disabled qubits)."""
+    disabled = set(patch.disabled_data)
+    disabled_anc = set(patch.disabled_ancillas)
+    out = []
+    for pos in _edge_positions(patch, edge):
+        if pos in disabled:
+            out.append(pos)
+            continue
+        # A disabled boundary check adjacent to the position also deforms the edge.
+        x, y = pos
+        for dx in (-1, 1):
+            for dy in (-1, 1):
+                if (x + dx, y + dy) in disabled_anc:
+                    out.append(pos)
+                    break
+            else:
+                continue
+            break
+    return out
+
+
+def edge_is_deformation_free(patch: AdaptedPatch, edge: str) -> bool:
+    """Condition (a): the edge carries no deformation at all."""
+    return not edge_deformation_positions(patch, edge)
+
+
+def edge_deformation_width(patch: AdaptedPatch, edge: str) -> int:
+    """Number of edge positions affected by deformations."""
+    return len(edge_deformation_positions(patch, edge))
+
+
+def merged_seam_distance(patch_a: AdaptedPatch, patch_b: AdaptedPatch, edge: str) -> int:
+    """Estimated code distance along the seam after merging two patches.
+
+    Both patches are assumed to be merged along ``edge`` of ``patch_a`` (and
+    the opposite edge of ``patch_b``).  Deformed positions on either merging
+    edge remove that position from the seam; the remaining seam width bounds
+    the merged code distance in the direction parallel to the seam, which is
+    the quantity that can drop in Fig. 14.
+    """
+    opposite = {"top": "bottom", "bottom": "top", "left": "right", "right": "left"}
+    width = patch_a.layout.size
+    deformed = set()
+    for pos in edge_deformation_positions(patch_a, edge):
+        deformed.add(pos[0] if edge in ("top", "bottom") else pos[1])
+    for pos in edge_deformation_positions(patch_b, opposite[edge]):
+        deformed.add(pos[0] if edge in ("top", "bottom") else pos[1])
+    return width - len(deformed)
+
+
+@dataclass(frozen=True)
+class BoundaryStandard:
+    """A post-selection standard on patch edges (Fig. 15).
+
+    ``require_no_deformation`` selects condition (a) over condition (b);
+    ``all_edges`` selects scope (c) over scope (d); ``target_distance`` is the
+    distance that must survive a merge for condition (b).
+    """
+
+    name: str
+    require_no_deformation: bool
+    all_edges: bool
+    target_distance: Optional[int] = None
+
+    def _edge_ok(self, patch: AdaptedPatch, edge: str) -> bool:
+        if self.require_no_deformation:
+            return edge_is_deformation_free(patch, edge)
+        target = self.target_distance or patch.layout.size
+        allowance = patch.layout.size - target
+        return edge_deformation_width(patch, edge) <= allowance
+
+    def accepts(self, patch: AdaptedPatch) -> bool:
+        status = {edge: self._edge_ok(patch, edge) for edge in EDGES}
+        if self.all_edges:
+            return all(status.values())
+        x_ok = status["top"] or status["bottom"]
+        z_ok = status["left"] or status["right"]
+        return x_ok and z_ok
+
+    def with_target(self, target_distance: int) -> "BoundaryStandard":
+        return BoundaryStandard(self.name, self.require_no_deformation,
+                                self.all_edges, target_distance)
+
+
+STANDARD_1 = BoundaryStandard("standard-1", require_no_deformation=True, all_edges=True)
+STANDARD_2 = BoundaryStandard("standard-2", require_no_deformation=True, all_edges=False)
+STANDARD_3 = BoundaryStandard("standard-3", require_no_deformation=False, all_edges=True)
+STANDARD_4 = BoundaryStandard("standard-4", require_no_deformation=False, all_edges=False)

@@ -1,0 +1,122 @@
+"""Yield estimation for post-selected chiplets (Figs. 12, 13, 15, 16, 17).
+
+The *yield* is the fraction of fabricated chiplets that pass a post-selection
+criterion.  It is estimated by Monte-Carlo: sample fabrication defects for
+many chiplets, adapt a surface code to each, evaluate the indicators and test
+the criterion.  The estimator also records the code-distance distribution of
+the accepted chiplets, which feeds the application-fidelity estimates
+(Fig. 19, Tables 3-4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.stats import BinomialEstimate
+from ..core.metrics import PatchMetrics
+from ..core.postselection import DefectFreeCriterion, PostSelectionCriterion
+from ..noise.fabrication import DefectModel
+from ..surface_code.layout import RotatedSurfaceCodeLayout
+from .architecture import Chiplet
+from .boundary import BoundaryStandard
+
+__all__ = ["YieldResult", "YieldEstimator", "defect_intolerant_yield"]
+
+
+@dataclass
+class YieldResult:
+    """Outcome of one yield Monte-Carlo run."""
+
+    chiplet_size: int
+    defect_rate: float
+    defect_model_kind: str
+    samples: int
+    accepted: int
+    distance_counts: Dict[int, int] = field(default_factory=dict)
+    accepted_distance_counts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def yield_fraction(self) -> float:
+        return self.accepted / self.samples if self.samples else 0.0
+
+    @property
+    def estimate(self) -> BinomialEstimate:
+        return BinomialEstimate(failures=self.accepted, shots=max(self.samples, 1))
+
+    def accepted_distance_distribution(self) -> Dict[int, float]:
+        total = sum(self.accepted_distance_counts.values())
+        if total == 0:
+            return {}
+        return {d: c / total for d, c in sorted(self.accepted_distance_counts.items())}
+
+    def distance_distribution(self) -> Dict[int, float]:
+        total = sum(self.distance_counts.values())
+        if total == 0:
+            return {}
+        return {d: c / total for d, c in sorted(self.distance_counts.items())}
+
+
+class YieldEstimator:
+    """Monte-Carlo yield estimator over fabrication-defect samples."""
+
+    def __init__(
+        self,
+        chiplet_size: int,
+        defect_model: DefectModel,
+        criterion: PostSelectionCriterion,
+        *,
+        allow_rotation: bool = False,
+        boundary_standard: Optional[BoundaryStandard] = None,
+        seed: Optional[int] = None,
+    ):
+        self.chiplet_size = int(chiplet_size)
+        self.defect_model = defect_model
+        self.criterion = criterion
+        self.allow_rotation = allow_rotation
+        self.boundary_standard = boundary_standard
+        self.rng = np.random.default_rng(seed)
+        self.layout = RotatedSurfaceCodeLayout(chiplet_size)
+
+    # ------------------------------------------------------------------
+    def _evaluate_one(self) -> tuple:
+        chiplet = Chiplet(layout=self.layout,
+                          defects=self.defect_model.sample(self.layout, self.rng))
+        if self.allow_rotation:
+            chiplet = chiplet.best_orientation(self.criterion)
+        metrics = chiplet.metrics
+        accepted = self.criterion.accepts(metrics)
+        if accepted and self.boundary_standard is not None:
+            accepted = self.boundary_standard.accepts(chiplet.patch)
+        return metrics, accepted
+
+    def run(self, samples: int) -> YieldResult:
+        """Sample ``samples`` chiplets and measure the acceptance fraction."""
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        accepted = 0
+        distance_counts: Dict[int, int] = {}
+        accepted_counts: Dict[int, int] = {}
+        for _ in range(samples):
+            metrics, ok = self._evaluate_one()
+            distance_counts[metrics.distance] = distance_counts.get(metrics.distance, 0) + 1
+            if ok:
+                accepted += 1
+                accepted_counts[metrics.distance] = accepted_counts.get(metrics.distance, 0) + 1
+        return YieldResult(
+            chiplet_size=self.chiplet_size,
+            defect_rate=self.defect_model.rate,
+            defect_model_kind=self.defect_model.kind,
+            samples=samples,
+            accepted=accepted,
+            distance_counts=distance_counts,
+            accepted_distance_counts=accepted_counts,
+        )
+
+
+def defect_intolerant_yield(chiplet_size: int, defect_model: DefectModel) -> float:
+    """Analytic yield of the defect-intolerant baseline (zero-defect chiplets)."""
+    layout = RotatedSurfaceCodeLayout(chiplet_size)
+    return defect_model.defect_free_probability(layout)

@@ -1,0 +1,9 @@
+"""Decoder substrate: matching graphs, MWPM and union-find decoders.
+
+In-repo replacement for PyMatching (see DESIGN.md section 2).
+"""
+
+from .matching import DecodeResult, MatchingGraph, MwpmDecoder
+from .unionfind import UnionFindDecoder
+
+__all__ = ["DecodeResult", "MatchingGraph", "MwpmDecoder", "UnionFindDecoder"]

@@ -1,0 +1,248 @@
+"""Minimum-weight perfect-matching decoder built on a detector error model.
+
+This replaces PyMatching.  The decoder operates in two stages:
+
+1. :class:`MatchingGraph` turns a graph-like :class:`DetectorErrorModel` into
+   a weighted graph whose nodes are detectors plus a single virtual boundary
+   node.  Each error mechanism with two detectors becomes an edge between
+   them; mechanisms with one detector become edges to the boundary.  Edge
+   weights are the usual log-likelihood weights ``w = log((1-p)/p)``, and each
+   edge remembers which logical observables it flips.
+
+2. :class:`MwpmDecoder` decodes syndromes shot by shot: Dijkstra shortest
+   paths are computed from every fired detector, a complete graph over the
+   fired detectors (plus per-detector boundary surrogates) is built, and a
+   minimum-weight perfect matching is found with networkx's blossom
+   implementation.  The predicted observable flip is the XOR of the
+   observable parities accumulated along the matched shortest paths.
+
+The implementation favours clarity and correctness over speed; shot counts in
+the benchmark harness are sized accordingly (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..stabilizer.dem import DetectorErrorModel
+
+__all__ = ["MatchingGraph", "MwpmDecoder", "DecodeResult"]
+
+_MIN_PROBABILITY = 1e-12
+_MAX_WEIGHT = 60.0
+
+
+def _weight_of(p: float) -> float:
+    """Log-likelihood edge weight for an error probability."""
+    p = min(max(p, _MIN_PROBABILITY), 0.5 - 1e-9)
+    return float(np.log((1.0 - p) / p))
+
+
+@dataclass
+class _Edge:
+    u: int
+    v: int
+    weight: float
+    probability: float
+    observables: Tuple[int, ...]
+
+
+class MatchingGraph:
+    """Weighted detector graph with a virtual boundary node.
+
+    The boundary node has index ``num_detectors``.
+    """
+
+    def __init__(self, dem: DetectorErrorModel):
+        self.num_detectors = dem.num_detectors
+        self.num_observables = dem.num_observables
+        self.boundary = dem.num_detectors
+        self._edges: Dict[Tuple[int, int], _Edge] = {}
+
+        for err in dem.errors:
+            if not err.detectors:
+                continue
+            if len(err.detectors) == 1:
+                u, v = err.detectors[0], self.boundary
+            elif len(err.detectors) == 2:
+                u, v = err.detectors
+            else:
+                raise ValueError(
+                    "matching graph requires a graph-like DEM; got an error "
+                    f"touching {len(err.detectors)} detectors"
+                )
+            key = (min(u, v), max(u, v))
+            candidate = _Edge(key[0], key[1], _weight_of(err.probability),
+                              err.probability, err.observables)
+            existing = self._edges.get(key)
+            # Keep the most likely mechanism for each detector pair; parallel
+            # edges with different observable masks are resolved in favour of
+            # the lower weight, as PyMatching does.
+            if existing is None or candidate.probability > existing.probability:
+                self._edges[key] = candidate
+
+        self._build_sparse()
+
+    # ------------------------------------------------------------------
+    def _build_sparse(self) -> None:
+        n = self.num_detectors + 1
+        rows, cols, vals = [], [], []
+        for (u, v), e in self._edges.items():
+            rows.extend((u, v))
+            cols.extend((v, u))
+            vals.extend((e.weight, e.weight))
+        # Guarantee every detector can reach the boundary so matching always
+        # succeeds even for detectors with no single-detector mechanism.
+        connected_to_boundary = {u for (u, v) in self._edges if v == self.boundary}
+        connected_to_boundary |= {v for (u, v) in self._edges if u == self.boundary}
+        self._fallback_boundary_weight = _MAX_WEIGHT
+        self.adjacency = csr_matrix(
+            (np.array(vals, dtype=float), (np.array(rows), np.array(cols))),
+            shape=(n, n),
+        ) if rows else csr_matrix((n, n), dtype=float)
+        self._boundary_connected = connected_to_boundary
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> List[_Edge]:
+        return list(self._edges.values())
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edge_between(self, u: int, v: int) -> _Edge | None:
+        return self._edges.get((min(u, v), max(u, v)))
+
+    def observables_on_edge(self, u: int, v: int) -> Tuple[int, ...]:
+        edge = self.edge_between(u, v)
+        return edge.observables if edge is not None else ()
+
+    def to_networkx(self) -> nx.Graph:
+        """Full detector graph as a networkx graph (used by the UF decoder)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_detectors + 1))
+        for (u, v), e in self._edges.items():
+            g.add_edge(u, v, weight=e.weight, probability=e.probability,
+                       observables=e.observables)
+        return g
+
+
+@dataclass
+class DecodeResult:
+    """Batch decode outcome."""
+
+    predicted_observables: np.ndarray   # shape (shots, num_observables), bool
+    num_shots: int
+
+    def logical_error_count(self, actual_observables: np.ndarray) -> int:
+        """Number of shots where any observable prediction was wrong."""
+        if actual_observables.shape != self.predicted_observables.shape:
+            raise ValueError("shape mismatch between actual and predicted observables")
+        wrong = np.any(actual_observables != self.predicted_observables, axis=1)
+        return int(np.count_nonzero(wrong))
+
+
+class MwpmDecoder:
+    """Exact minimum-weight perfect-matching decoder."""
+
+    def __init__(self, graph: MatchingGraph | DetectorErrorModel):
+        if isinstance(graph, DetectorErrorModel):
+            graph = MatchingGraph(graph)
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    def decode(self, detector_sample: Sequence[bool] | np.ndarray) -> np.ndarray:
+        """Decode one shot; returns a boolean observable-flip vector."""
+        detector_sample = np.asarray(detector_sample, dtype=bool)
+        fired = list(np.flatnonzero(detector_sample))
+        num_obs = max(self.graph.num_observables, 1)
+        prediction = np.zeros(num_obs, dtype=bool)
+        if not fired:
+            return prediction[: self.graph.num_observables]
+
+        boundary = self.graph.boundary
+        dist, predecessors = dijkstra(
+            self.graph.adjacency,
+            directed=False,
+            indices=fired,
+            return_predecessors=True,
+        )
+
+        # Build the matching problem: fired nodes plus a boundary surrogate for
+        # each.  Surrogates are mutually connected with zero weight so that
+        # unmatched-to-boundary pairings are free.
+        g = nx.Graph()
+        k = len(fired)
+        for i in range(k):
+            for j in range(i + 1, k):
+                w = dist[i, fired[j]]
+                if np.isfinite(w):
+                    g.add_edge(("d", i), ("d", j), weight=float(w))
+            bw = dist[i, boundary]
+            if not np.isfinite(bw):
+                bw = self.graph._fallback_boundary_weight
+            g.add_edge(("d", i), ("b", i), weight=float(bw))
+            for j in range(i):
+                g.add_edge(("b", i), ("b", j), weight=0.0)
+        if k == 1:
+            g.add_node(("b", 0))
+
+        matching = nx.min_weight_matching(g)
+
+        for a, b in matching:
+            if a[0] == "b" and b[0] == "b":
+                continue
+            if a[0] == "b":
+                a, b = b, a
+            src_pos = a[1]
+            if b[0] == "b":
+                target = boundary
+                if not np.isfinite(dist[src_pos, boundary]):
+                    continue  # isolated detector matched through fallback
+            else:
+                target = fired[b[1]]
+            for obs in self._path_observables(src_pos, target, predecessors, fired):
+                prediction[obs] ^= True
+        return prediction[: self.graph.num_observables]
+
+    # ------------------------------------------------------------------
+    def _path_observables(
+        self,
+        source_pos: int,
+        target: int,
+        predecessors: np.ndarray,
+        fired: List[int],
+    ) -> List[int]:
+        """Observable indices flipped an odd number of times along the path."""
+        flips: Dict[int, int] = {}
+        node = target
+        source = fired[source_pos]
+        guard = 0
+        while node != source:
+            prev = predecessors[source_pos, node]
+            if prev < 0:
+                return []
+            for obs in self.graph.observables_on_edge(int(prev), int(node)):
+                flips[obs] = flips.get(obs, 0) + 1
+            node = int(prev)
+            guard += 1
+            if guard > self.graph.num_detectors + 2:
+                raise RuntimeError("predecessor walk failed to terminate")
+        return [obs for obs, count in flips.items() if count % 2 == 1]
+
+    # ------------------------------------------------------------------
+    def decode_batch(self, detector_samples: np.ndarray) -> DecodeResult:
+        """Decode a ``(shots, num_detectors)`` boolean array."""
+        detector_samples = np.asarray(detector_samples, dtype=bool)
+        shots = detector_samples.shape[0]
+        num_obs = self.graph.num_observables
+        out = np.zeros((shots, num_obs), dtype=bool)
+        for s in range(shots):
+            out[s] = self.decode(detector_samples[s])
+        return DecodeResult(predicted_observables=out, num_shots=shots)

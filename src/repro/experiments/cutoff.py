@@ -1,0 +1,117 @@
+"""Cutoff-fidelity study (Sec. 6, Fig. 20).
+
+Real devices do not have a crisp faulty/working split: a qubit may simply be
+worse than its neighbours.  The paper uses the stability experiment to decide
+when such a qubit should be disabled (and handled with super-stabilizers)
+rather than kept in the code: for each candidate "bad qubit" error rate it
+compares the logical performance of keeping the qubit against disabling it,
+as a function of the error rate of the good qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.adaptation import adapt_patch
+from ..noise.circuit_noise import CircuitNoiseModel
+from ..noise.fabrication import DefectSet
+from ..surface_code.layout import Coord, StabilityLayout
+from .memory import MemoryExperimentResult, run_stability_experiment
+
+__all__ = ["CutoffPoint", "CutoffStudy", "run_cutoff_study", "center_data_qubit"]
+
+
+def center_data_qubit(size: int) -> Coord:
+    """The data qubit closest to the middle of a patch of the given width."""
+    mid = size if size % 2 == 1 else size - 1
+    return (mid, mid)
+
+
+_DEFAULT_STABILITY_SIZE = 4
+
+
+@dataclass(frozen=True)
+class CutoffPoint:
+    """One point of a Fig. 20 curve."""
+
+    strategy: str                  # "keep" or "disable"
+    bad_qubit_error_rate: Optional[float]
+    physical_error_rate: float
+    result: MemoryExperimentResult
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.result.logical_error_rate
+
+
+@dataclass
+class CutoffStudy:
+    """All curves of the cutoff-fidelity comparison."""
+
+    size: int
+    rounds: int
+    points: List[CutoffPoint]
+
+    def curve(self, strategy: str, bad_rate: Optional[float] = None) -> List[CutoffPoint]:
+        return [
+            p for p in self.points
+            if p.strategy == strategy
+            and (bad_rate is None or p.bad_qubit_error_rate == bad_rate)
+        ]
+
+    def crossover_rate(self, bad_rate: float) -> Optional[float]:
+        """Largest good-qubit error rate at which disabling beats keeping.
+
+        Returns ``None`` when keeping the qubit is always at least as good in
+        the sampled window (i.e. the bad qubit is below the cutoff).
+        """
+        disable = {p.physical_error_rate: p.logical_error_rate
+                   for p in self.curve("disable")}
+        keep = {p.physical_error_rate: p.logical_error_rate
+                for p in self.curve("keep", bad_rate)}
+        crossings = [p for p in sorted(keep) if p in disable and disable[p] < keep[p]]
+        return max(crossings) if crossings else None
+
+
+def run_cutoff_study(
+    *,
+    size: int = _DEFAULT_STABILITY_SIZE,
+    rounds: int = 5,
+    physical_error_rates: Sequence[float] = (0.002, 0.004, 0.006, 0.008),
+    bad_qubit_error_rates: Sequence[float] = (0.05, 0.08, 0.10, 0.15),
+    shots: int = 2000,
+    seed: Optional[int] = None,
+    bad_qubit: Optional[Coord] = None,
+) -> CutoffStudy:
+    """Reproduce the Fig. 20 comparison on the stability patch.
+
+    The "keep" curves run the stability experiment with one elevated-error
+    data qubit; the "disable" curve removes that qubit and forms
+    super-stabilizers around it (via the standard adaptation path).
+    """
+    layout = StabilityLayout(size)
+    bad = bad_qubit or center_data_qubit(size)
+    rng = np.random.default_rng(seed)
+    points: List[CutoffPoint] = []
+
+    disabled_patch = adapt_patch(layout, DefectSet.of(qubits=[bad]))
+    intact_patch = adapt_patch(layout, DefectSet.of())
+
+    for p in physical_error_rates:
+        noise = CircuitNoiseModel.standard(p)
+        result = run_stability_experiment(
+            disabled_patch, p, shots, rounds,
+            noise=noise, seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        points.append(CutoffPoint("disable", None, p, result))
+        for bad_rate in bad_qubit_error_rates:
+            noisy = CircuitNoiseModel.standard(p).with_bad_qubit(bad, bad_rate)
+            result = run_stability_experiment(
+                intact_patch, p, shots, rounds,
+                noise=noisy, seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            points.append(CutoffPoint("keep", bad_rate, p, result))
+    return CutoffStudy(size=size, rounds=rounds, points=points)

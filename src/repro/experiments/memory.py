@@ -1,0 +1,160 @@
+"""Memory-experiment driver: sample logical error rates for adapted patches.
+
+A memory experiment prepares the logical |0> state, runs ``rounds`` cycles of
+syndrome extraction under circuit-level noise, decodes the resulting detector
+record with minimum-weight perfect matching, and counts the shots in which
+the decoder's prediction of the logical-Z observable disagrees with the
+actual value.  This is the workhorse behind Figs. 5-11 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.stats import BinomialEstimate
+from ..core.patch import AdaptedPatch
+from ..decoder.matching import MatchingGraph, MwpmDecoder
+from ..decoder.unionfind import UnionFindDecoder
+from ..noise.circuit_noise import CircuitNoiseModel
+from ..stabilizer.dem import build_detector_error_model
+from ..stabilizer.frame import FrameSimulator
+from ..surface_code.circuits import build_memory_circuit, build_stability_circuit
+
+__all__ = ["MemoryExperimentResult", "run_memory_experiment", "run_stability_experiment"]
+
+
+@dataclass(frozen=True)
+class MemoryExperimentResult:
+    """Outcome of one logical-error-rate measurement."""
+
+    physical_error_rate: float
+    rounds: int
+    shots: int
+    failures: int
+    num_detectors: int
+    num_dem_errors: int
+    decoder: str
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.failures / self.shots
+
+    @property
+    def estimate(self) -> BinomialEstimate:
+        return BinomialEstimate(failures=self.failures, shots=self.shots)
+
+    def per_round_error_rate(self) -> float:
+        """Logical error rate converted to a per-round rate."""
+        total = self.logical_error_rate
+        if total >= 1.0:
+            return 1.0
+        return 1.0 - (1.0 - total) ** (1.0 / max(self.rounds, 1))
+
+
+def _decode_and_count(circuit, shots: int, seed: Optional[int], decoder: str) -> tuple:
+    dem = build_detector_error_model(circuit)
+    graph = MatchingGraph(dem)
+    if decoder == "mwpm":
+        dec = MwpmDecoder(graph)
+    elif decoder == "unionfind":
+        dec = UnionFindDecoder(graph)
+    else:
+        raise ValueError(f"unknown decoder {decoder!r}")
+    samples = FrameSimulator(circuit, seed=seed).sample(shots)
+    result = dec.decode_batch(samples.detectors)
+    failures = result.logical_error_count(samples.observables)
+    return failures, dem
+
+
+def run_memory_experiment(
+    patch: AdaptedPatch,
+    physical_error_rate: float,
+    shots: int,
+    *,
+    rounds: Optional[int] = None,
+    noise: Optional[CircuitNoiseModel] = None,
+    seed: Optional[int] = None,
+    decoder: str = "mwpm",
+) -> MemoryExperimentResult:
+    """Measure the logical-Z memory error rate of an adapted patch.
+
+    Parameters
+    ----------
+    patch:
+        The adapted patch (defect-free patches work too).
+    physical_error_rate:
+        Two-qubit gate error rate ``p`` of the circuit-level noise model
+        (ignored if an explicit ``noise`` model is supplied).
+    shots:
+        Number of Monte-Carlo samples.
+    rounds:
+        Number of syndrome-extraction rounds; defaults to the patch width.
+    decoder:
+        ``"mwpm"`` (exact matching, default) or ``"unionfind"``.
+    """
+    if noise is None:
+        noise = CircuitNoiseModel.standard(physical_error_rate)
+    if rounds is None:
+        rounds = patch.layout.size
+    circuit = build_memory_circuit(patch, noise, rounds)
+    failures, dem = _decode_and_count(circuit, shots, seed, decoder)
+    return MemoryExperimentResult(
+        physical_error_rate=physical_error_rate,
+        rounds=rounds,
+        shots=shots,
+        failures=failures,
+        num_detectors=circuit.num_detectors,
+        num_dem_errors=len(dem),
+        decoder=decoder,
+    )
+
+
+def run_stability_experiment(
+    patch: AdaptedPatch,
+    physical_error_rate: float,
+    shots: int,
+    rounds: int,
+    *,
+    noise: Optional[CircuitNoiseModel] = None,
+    seed: Optional[int] = None,
+    decoder: str = "mwpm",
+) -> MemoryExperimentResult:
+    """Measure the stability-experiment failure rate (Sec. 6 of the paper)."""
+    if noise is None:
+        noise = CircuitNoiseModel.standard(physical_error_rate)
+    circuit = build_stability_circuit(patch, noise, rounds)
+    failures, dem = _decode_and_count(circuit, shots, seed, decoder)
+    return MemoryExperimentResult(
+        physical_error_rate=physical_error_rate,
+        rounds=rounds,
+        shots=shots,
+        failures=failures,
+        num_detectors=circuit.num_detectors,
+        num_dem_errors=len(dem),
+        decoder=decoder,
+    )
+
+
+def logical_error_rate_curve(
+    patch: AdaptedPatch,
+    physical_error_rates: Sequence[float],
+    shots: int,
+    *,
+    rounds: Optional[int] = None,
+    seed: Optional[int] = None,
+    decoder: str = "mwpm",
+) -> list[MemoryExperimentResult]:
+    """Sweep ``p`` and return one result per value (the Fig. 6 style curve)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for p in physical_error_rates:
+        out.append(
+            run_memory_experiment(
+                patch, p, shots, rounds=rounds,
+                seed=int(rng.integers(0, 2**31 - 1)), decoder=decoder,
+            )
+        )
+    return out

@@ -1,0 +1,12 @@
+"""Noise substrate: fabrication-defect models and circuit-level Pauli noise."""
+
+from .circuit_noise import CircuitNoiseModel
+from .fabrication import LINK_AND_QUBIT, LINK_ONLY, DefectModel, DefectSet
+
+__all__ = [
+    "CircuitNoiseModel",
+    "DefectModel",
+    "DefectSet",
+    "LINK_ONLY",
+    "LINK_AND_QUBIT",
+]

@@ -1,0 +1,36 @@
+"""Rotated surface-code layouts and syndrome-extraction circuits.
+
+The circuit-builder symbols are loaded lazily so that low-level modules
+(noise models, the core adaptation code) can import :mod:`.layout` without
+pulling in the whole circuit-generation stack, which would create an import
+cycle.
+"""
+
+from .layout import Check, Coord, RotatedSurfaceCodeLayout, StabilityLayout, plaquette_kind
+
+__all__ = [
+    "Check",
+    "Coord",
+    "RotatedSurfaceCodeLayout",
+    "StabilityLayout",
+    "plaquette_kind",
+    "CircuitBuildError",
+    "SyndromeCircuitBuilder",
+    "build_memory_circuit",
+    "build_stability_circuit",
+]
+
+_LAZY = {
+    "CircuitBuildError",
+    "SyndromeCircuitBuilder",
+    "build_memory_circuit",
+    "build_stability_circuit",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from . import circuits
+
+        return getattr(circuits, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

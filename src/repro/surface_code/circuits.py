@@ -1,0 +1,398 @@
+"""Syndrome-extraction circuits for adapted surface-code patches.
+
+This module generates the noisy stabilizer circuits that the paper runs on
+Stim; here they target :mod:`repro.stabilizer`.  One generic builder covers
+both experiment families used in the paper:
+
+* **memory experiments** (Sec. 4): data qubits initialised and measured in the
+  Z basis, the observable is a logical-Z representative read from the final
+  data measurements, and the relevant detectors are the Z-type checks;
+* **stability experiments** (Sec. 6): data qubits initialised and measured in
+  the X basis on the all-Z-boundary :class:`StabilityLayout`, the observable
+  is the product of every Z-type check outcome in the first round (which is
+  deterministic because the product of all Z checks is the identity on that
+  patch), and the relevant detectors are again the Z-type checks, now forming
+  a time-like matching problem.
+
+Super-stabilizer handling follows Sec. 3: gauge operators of a defect cluster
+are measured on a schedule of alternating blocks (``Z^n X^n Z^n ...`` with
+``n`` the cluster repetition count); individual gauge outcomes are compared
+between consecutive rounds inside a block, and only the gauge *products* are
+compared across blocks and against the final data readout.
+
+The standard interleaved CNOT schedule (Tomita & Svore) is used: Z-type
+checks couple their data qubits in the order NE, NW, SE, SW and X-type checks
+in the order NE, SE, NW, SW (directions are data-minus-ancilla), which keeps
+every data qubit involved in at most one two-qubit gate per time step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+from ..noise.circuit_noise import CircuitNoiseModel
+from ..stabilizer.circuit import Circuit
+from .layout import Check, Coord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, types only
+    from ..core.patch import AdaptedPatch
+
+__all__ = [
+    "CircuitBuildError",
+    "build_memory_circuit",
+    "build_stability_circuit",
+    "SyndromeCircuitBuilder",
+]
+
+# Data-qubit coupling order relative to the ancilla, per check type.
+_Z_ORDER: Tuple[Coord, ...] = ((1, 1), (-1, 1), (1, -1), (-1, -1))
+_X_ORDER: Tuple[Coord, ...] = ((1, 1), (1, -1), (-1, 1), (-1, -1))
+
+
+class CircuitBuildError(RuntimeError):
+    """Raised when a valid circuit cannot be generated for a patch."""
+
+
+@dataclass(frozen=True)
+class _ScheduledCheck:
+    """A check or gauge with its measurement-schedule metadata."""
+
+    kind: str
+    ancilla: Coord
+    data: Tuple[Coord, ...]
+    is_gauge: bool
+    cluster_id: Optional[int] = None
+
+
+class SyndromeCircuitBuilder:
+    """Builds noisy syndrome-extraction circuits for an adapted patch."""
+
+    def __init__(
+        self,
+        patch: "AdaptedPatch",
+        noise: CircuitNoiseModel,
+        rounds: int,
+        *,
+        detector_basis: str = "Z",
+        data_init_basis: str = "Z",
+        observable: str = "logical_z",
+    ):
+        if rounds < 1:
+            raise ValueError("at least one measurement round is required")
+        if detector_basis not in ("Z", "X", "both"):
+            raise ValueError("detector_basis must be 'Z', 'X' or 'both'")
+        if data_init_basis not in ("Z", "X"):
+            raise ValueError("data_init_basis must be 'Z' or 'X'")
+        if observable not in ("logical_z", "logical_x", "stability_z"):
+            raise ValueError(f"unknown observable {observable!r}")
+        if not patch.valid:
+            raise CircuitBuildError(f"patch is invalid: {patch.failure_reason}")
+        self.patch = patch
+        self.noise = noise
+        self.rounds = int(rounds)
+        self.detector_basis = detector_basis
+        self.data_init_basis = data_init_basis
+        self.observable = observable
+
+        self._index: Dict[Coord, int] = {}
+        for coord in list(patch.active_data) + list(patch.active_ancillas):
+            self._index[coord] = len(self._index)
+        self._scheduled = self._collect_checks()
+        self._meas_key: Dict[Tuple[Coord, int], int] = {}
+        self._final_key: Dict[Coord, int] = {}
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+    def _collect_checks(self) -> List[_ScheduledCheck]:
+        out: List[_ScheduledCheck] = []
+        for check in self.patch.stabilizers:
+            out.append(_ScheduledCheck(check.kind, check.ancilla, tuple(check.data),
+                                       is_gauge=False))
+        for ss in self.patch.super_stabilizers:
+            for g in ss.gauges:
+                out.append(_ScheduledCheck(g.kind, g.ancilla, g.data,
+                                           is_gauge=True, cluster_id=ss.cluster_id))
+        return out
+
+    def _block_kind(self, cluster_id: int, round_index: int) -> str:
+        """Which gauge type a cluster measures in a given round (Z blocks first)."""
+        reps = self.patch.cluster_repetitions.get(cluster_id, 1)
+        return "Z" if (round_index // reps) % 2 == 0 else "X"
+
+    def _measured_this_round(self, item: _ScheduledCheck, round_index: int) -> bool:
+        if not item.is_gauge:
+            return True
+        return self._block_kind(item.cluster_id, round_index) == item.kind
+
+    def _rounds_measured(self, item: _ScheduledCheck) -> List[int]:
+        return [r for r in range(self.rounds) if self._measured_this_round(item, r)]
+
+    def qubit_index(self, coord: Coord) -> int:
+        return self._index[coord]
+
+    # ------------------------------------------------------------------
+    # Observable supports
+    # ------------------------------------------------------------------
+    def _logical_support(self, logical: str) -> Tuple[Coord, ...]:
+        """A logical representative avoiding every gauge-operator qubit.
+
+        Logical Z must commute with the individually-measured X gauges (and
+        vice versa), so the representative is routed around super-stabilizer
+        regions.  Raises :class:`CircuitBuildError` when no such routing
+        exists (extremely damaged patches).
+        """
+        from ..core.metrics import build_chain_graph
+
+        error_type = "Z" if logical == "logical_z" else "X"
+        avoid = {d for g in self.patch.gauge_operators for d in g.data}
+        graph = build_chain_graph(self.patch, error_type)
+        path = graph.shortest_path_qubits(avoid=avoid)
+        if path is None:
+            path = graph.shortest_path_qubits()
+        if path is None:
+            raise CircuitBuildError(
+                f"no {logical} representative exists on this patch"
+            )
+        return tuple(path)
+
+    # ------------------------------------------------------------------
+    # Circuit assembly
+    # ------------------------------------------------------------------
+    def build(self) -> Circuit:
+        circuit = Circuit(num_qubits=len(self._index))
+        data = list(self.patch.active_data)
+        data_idx = [self._index[d] for d in data]
+        noise = self.noise
+
+        # Initial resets.
+        reset_gate = "R" if self.data_init_basis == "Z" else "RX"
+        circuit.append(reset_gate, data_idx)
+        all_anc = sorted({self._index[c.ancilla] for c in self._scheduled})
+        circuit.append("R", all_anc)
+        if noise.reset_factor > 0:
+            for d in data:
+                circuit.append("X_ERROR", [self._index[d]], noise.reset_rate(d))
+
+        for r in range(self.rounds):
+            self._append_round(circuit, r)
+            self._append_round_detectors(circuit, r)
+
+        self._append_final_readout(circuit)
+        self._append_final_detectors(circuit)
+        self._append_observable(circuit)
+        circuit.validate()
+        return circuit
+
+    # ------------------------------------------------------------------
+    def _append_round(self, circuit: Circuit, round_index: int) -> None:
+        noise = self.noise
+        measured = [c for c in self._scheduled
+                    if self._measured_this_round(c, round_index)]
+        x_ancillas = [c.ancilla for c in measured if c.kind == "X"]
+
+        circuit.append("TICK")
+        if x_ancillas:
+            circuit.append("H", [self._index[a] for a in x_ancillas])
+            for a in x_ancillas:
+                circuit.append("DEPOLARIZE1", [self._index[a]], noise.single_qubit_rate(a))
+
+        for phase in range(4):
+            pairs: List[int] = []
+            pair_coords: List[Tuple[Coord, Coord]] = []
+            for item in measured:
+                order = _Z_ORDER if item.kind == "Z" else _X_ORDER
+                dx, dy = order[phase]
+                target = (item.ancilla[0] + dx, item.ancilla[1] + dy)
+                if target not in item.data:
+                    continue
+                if item.kind == "Z":
+                    control, victim = target, item.ancilla
+                else:
+                    control, victim = item.ancilla, target
+                pairs.extend((self._index[control], self._index[victim]))
+                pair_coords.append((control, victim))
+            if pairs:
+                circuit.append("CX", pairs)
+                for a, b in pair_coords:
+                    circuit.append(
+                        "DEPOLARIZE2",
+                        [self._index[a], self._index[b]],
+                        noise.two_qubit_rate(a, b),
+                    )
+
+        if x_ancillas:
+            circuit.append("H", [self._index[a] for a in x_ancillas])
+            for a in x_ancillas:
+                circuit.append("DEPOLARIZE1", [self._index[a]], noise.single_qubit_rate(a))
+
+        # Readout errors, then measure-and-reset every scheduled ancilla.
+        for item in measured:
+            circuit.append("X_ERROR", [self._index[item.ancilla]],
+                           noise.readout_rate(item.ancilla))
+        for item in measured:
+            circuit.append("MR", [self._index[item.ancilla]])
+            self._meas_key[(item.ancilla, round_index)] = circuit.num_measurements - 1
+
+        # Idle noise on data qubits while the ancillas are processed.
+        if noise.idle_data_factor > 0:
+            for d in self.patch.active_data:
+                circuit.append("DEPOLARIZE1", [self._index[d]], noise.idle_rate(d))
+
+    # ------------------------------------------------------------------
+    def _wants_detectors(self, kind: str) -> bool:
+        return self.detector_basis == "both" or self.detector_basis == kind
+
+    def _append_round_detectors(self, circuit: Circuit, round_index: int) -> None:
+        # Regular stabilizers: compare to the previous round (or to the
+        # deterministic initial value on the first round).
+        for item in self._scheduled:
+            if item.is_gauge or not self._wants_detectors(item.kind):
+                continue
+            current = self._meas_key[(item.ancilla, round_index)]
+            if round_index == 0:
+                if item.kind == self.data_init_basis:
+                    circuit.append("DETECTOR", [current])
+            else:
+                previous = self._meas_key[(item.ancilla, round_index - 1)]
+                circuit.append("DETECTOR", [current, previous])
+
+        # Gauge operators: individual comparisons inside a block, product
+        # comparisons across blocks.
+        for ss in self.patch.super_stabilizers:
+            if not self._wants_detectors(ss.kind):
+                continue
+            if self._block_kind(ss.cluster_id, round_index) != ss.kind:
+                continue
+            first_round_of_kind = min(
+                r for r in range(self.rounds)
+                if self._block_kind(ss.cluster_id, r) == ss.kind
+            ) if any(self._block_kind(ss.cluster_id, r) == ss.kind
+                     for r in range(self.rounds)) else None
+            if round_index == first_round_of_kind:
+                # First time this gauge type is measured.
+                if ss.kind == self.data_init_basis and round_index == 0:
+                    for g in ss.gauges:
+                        circuit.append("DETECTOR",
+                                       [self._meas_key[(g.ancilla, round_index)]])
+                continue
+            prev_round = max(
+                r for r in range(round_index)
+                if self._block_kind(ss.cluster_id, r) == ss.kind
+            )
+            if prev_round == round_index - 1:
+                # Same block: individual gauge outcomes are comparable.
+                for g in ss.gauges:
+                    circuit.append(
+                        "DETECTOR",
+                        [self._meas_key[(g.ancilla, round_index)],
+                         self._meas_key[(g.ancilla, prev_round)]],
+                    )
+            else:
+                # Across an opposite-type block: only the product is reliable.
+                targets = []
+                for g in ss.gauges:
+                    targets.append(self._meas_key[(g.ancilla, round_index)])
+                    targets.append(self._meas_key[(g.ancilla, prev_round)])
+                circuit.append("DETECTOR", targets)
+
+    # ------------------------------------------------------------------
+    def _append_final_readout(self, circuit: Circuit) -> None:
+        noise = self.noise
+        measure_gate = "M" if self.data_init_basis == "Z" else "MX"
+        circuit.append("TICK")
+        for d in self.patch.active_data:
+            circuit.append("X_ERROR" if measure_gate == "M" else "Z_ERROR",
+                           [self._index[d]], noise.readout_rate(d))
+        for d in self.patch.active_data:
+            circuit.append(measure_gate, [self._index[d]])
+            self._final_key[d] = circuit.num_measurements - 1
+
+    def _append_final_detectors(self, circuit: Circuit) -> None:
+        # Only checks of the same type as the final measurement basis can be
+        # reconstructed from the data readout.
+        final_kind = self.data_init_basis
+        if not self._wants_detectors(final_kind):
+            return
+        last_round = self.rounds - 1
+        for item in self._scheduled:
+            if item.is_gauge or item.kind != final_kind:
+                continue
+            targets = [self._final_key[d] for d in item.data]
+            targets.append(self._meas_key[(item.ancilla, last_round)])
+            circuit.append("DETECTOR", targets)
+        for ss in self.patch.super_stabilizers:
+            if ss.kind != final_kind:
+                continue
+            rounds_of_kind = [
+                r for r in range(self.rounds)
+                if self._block_kind(ss.cluster_id, r) == ss.kind
+            ]
+            if not rounds_of_kind:
+                continue
+            last = rounds_of_kind[-1]
+            targets = [self._final_key[d] for d in ss.product_support]
+            for g in ss.gauges:
+                targets.append(self._meas_key[(g.ancilla, last)])
+            circuit.append("DETECTOR", targets)
+
+    # ------------------------------------------------------------------
+    def _append_observable(self, circuit: Circuit) -> None:
+        if self.observable in ("logical_z", "logical_x"):
+            support = self._logical_support(self.observable)
+            targets = [self._final_key[d] for d in support]
+            circuit.append("OBSERVABLE_INCLUDE", targets, 0)
+        elif self.observable == "stability_z":
+            targets = []
+            for item in self._scheduled:
+                if item.kind != "Z":
+                    continue
+                if (item.ancilla, 0) in self._meas_key:
+                    targets.append(self._meas_key[(item.ancilla, 0)])
+            if not targets:
+                raise CircuitBuildError("stability observable has no Z checks in round 0")
+            circuit.append("OBSERVABLE_INCLUDE", targets, 0)
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers
+# ----------------------------------------------------------------------
+def build_memory_circuit(
+    patch: "AdaptedPatch",
+    noise: CircuitNoiseModel,
+    rounds: Optional[int] = None,
+    *,
+    detector_basis: str = "Z",
+) -> Circuit:
+    """Memory-Z experiment circuit for an adapted patch.
+
+    ``rounds`` defaults to the patch width (the usual d-round memory
+    experiment).
+    """
+    if rounds is None:
+        rounds = patch.layout.size
+    builder = SyndromeCircuitBuilder(
+        patch, noise, rounds,
+        detector_basis=detector_basis,
+        data_init_basis="Z",
+        observable="logical_z",
+    )
+    return builder.build()
+
+
+def build_stability_circuit(
+    patch: "AdaptedPatch",
+    noise: CircuitNoiseModel,
+    rounds: int,
+) -> Circuit:
+    """Stability experiment circuit (Gidney 2022) for an all-Z-boundary patch."""
+    builder = SyndromeCircuitBuilder(
+        patch, noise, rounds,
+        detector_basis="Z",
+        data_init_basis="X",
+        observable="stability_z",
+    )
+    return builder.build()

@@ -1,0 +1,180 @@
+"""Tests for the defect-adaptation algorithm (the paper's core contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.core import adapt_patch, cluster_diameter, defect_clusters, evaluate_patch
+from repro.noise import DefectModel, DefectSet, LINK_AND_QUBIT, LINK_ONLY
+from repro.surface_code import RotatedSurfaceCodeLayout, StabilityLayout
+
+
+class TestDefectClusters:
+    def test_single_site(self):
+        assert defect_clusters([(3, 3)]) == [{(3, 3)}]
+        assert cluster_diameter([(3, 3)]) == 0.0
+
+    def test_adjacent_sites_merge(self):
+        clusters = defect_clusters([(3, 3), (4, 4), (9, 9)])
+        assert len(clusters) == 2
+
+    def test_diameter_in_data_qubit_units(self):
+        assert cluster_diameter([(1, 1), (5, 1)]) == 2.0
+
+    def test_empty(self):
+        assert defect_clusters([]) == []
+
+
+class TestDefectFree:
+    @pytest.mark.parametrize("d", [3, 5, 7, 9])
+    def test_defect_free_patch_is_unchanged(self, d):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(d), DefectSet.of())
+        assert patch.valid
+        assert not patch.disabled_data
+        assert not patch.disabled_ancillas
+        assert len(patch.stabilizers) == d * d - 1
+        assert not patch.super_stabilizers
+        assert patch.num_logical_qubits() == 1
+        assert patch.check_invariants() == []
+
+
+class TestPaperFigure1Examples:
+    def test_fig1a_interior_data_defect(self):
+        """l=5 with one broken interior data qubit: d=4, weight-2 gauge groups."""
+        patch = adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of(qubits=[(5, 5)]))
+        assert patch.valid
+        metrics = evaluate_patch(patch)
+        assert metrics.distance_x == 4
+        assert metrics.distance_z == 4
+        kinds = sorted((ss.kind, ss.num_gauges) for ss in patch.super_stabilizers)
+        assert kinds == [("X", 2), ("Z", 2)]
+        assert patch.num_logical_qubits() == 1
+        assert patch.check_invariants() == []
+
+    def test_fig1b_interior_syndrome_defect(self):
+        """l=7 with one broken interior measurement qubit: d=5, 4-gauge groups."""
+        patch = adapt_patch(RotatedSurfaceCodeLayout(7), DefectSet.of(qubits=[(6, 6)]))
+        assert patch.valid
+        metrics = evaluate_patch(patch)
+        assert metrics.distance == 5
+        kinds = sorted((ss.kind, ss.num_gauges) for ss in patch.super_stabilizers)
+        assert kinds == [("X", 4), ("Z", 4)]
+        # All four data neighbours of the broken ancilla are disabled.
+        assert {(5, 5), (7, 5), (5, 7), (7, 7)} <= set(patch.disabled_data)
+        assert patch.check_invariants() == []
+
+    def test_syndrome_defect_near_boundary_deforms(self):
+        """A measurement qubit adjacent to a boundary of the other colour is
+        excised along with two data qubits and one weight-2 check (Fig. 1d)."""
+        patch = adapt_patch(RotatedSurfaceCodeLayout(9), DefectSet.of(qubits=[(4, 2)]))
+        assert patch.valid
+        assert not patch.super_stabilizers
+        assert len(patch.disabled_data) == 2
+        assert (4, 2) in patch.disabled_ancillas
+        assert patch.check_invariants() == []
+
+    def test_corner_data_defect_minimal_exclusion(self):
+        """A faulty corner data qubit excludes only one other qubit (Fig. 1d)."""
+        patch = adapt_patch(RotatedSurfaceCodeLayout(9), DefectSet.of(qubits=[(1, 1)]))
+        assert patch.valid
+        assert patch.disabled_data == frozenset({(1, 1)})
+        assert len(patch.disabled_ancillas) == 1
+        assert patch.check_invariants() == []
+
+    def test_boundary_deformation_reduces_distance_modestly(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(9), DefectSet.of(qubits=[(3, 1)]))
+        metrics = evaluate_patch(patch)
+        assert 7 <= metrics.distance <= 9
+        assert patch.check_invariants() == []
+
+
+class TestFaultyLinkRule:
+    def test_link_defect_disables_data_endpoint(self):
+        layout = RotatedSurfaceCodeLayout(7)
+        link = ((7, 7), (6, 6))
+        patch = adapt_patch(layout, DefectSet.of(links=[link]))
+        assert (7, 7) in patch.disabled_data
+        assert (6, 6) not in patch.disabled_ancillas
+
+    def test_link_to_already_faulty_ancilla_is_free(self):
+        layout = RotatedSurfaceCodeLayout(7)
+        with_link = adapt_patch(
+            layout, DefectSet.of(qubits=[(6, 6)], links=[((7, 7), (6, 6))]))
+        without_link = adapt_patch(layout, DefectSet.of(qubits=[(6, 6)]))
+        assert with_link.disabled_data == without_link.disabled_data
+
+    def test_link_only_model_never_marks_qubits_faulty(self):
+        layout = RotatedSurfaceCodeLayout(9)
+        model = DefectModel(LINK_ONLY, 0.05)
+        defects = model.sample(layout, rng=3)
+        assert defects.num_faulty_qubits == 0
+        assert defects.num_faulty_links > 0
+
+
+class TestRandomDefects:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_link_and_qubit_defects_yield_sound_patches(self, seed):
+        layout = RotatedSurfaceCodeLayout(7)
+        model = DefectModel(LINK_AND_QUBIT, 0.02)
+        defects = model.sample(layout, rng=seed)
+        patch = adapt_patch(layout, defects)
+        if not patch.valid:
+            pytest.skip("pathological configuration flagged invalid (allowed)")
+        problems = patch.check_invariants()
+        assert problems == [], problems
+        assert patch.num_logical_qubits() >= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_link_only_defects_yield_sound_patches(self, seed):
+        layout = RotatedSurfaceCodeLayout(9)
+        model = DefectModel(LINK_ONLY, 0.02)
+        patch = adapt_patch(layout, model.sample(layout, rng=seed))
+        if not patch.valid:
+            pytest.skip("pathological configuration flagged invalid (allowed)")
+        assert patch.check_invariants() == []
+
+    def test_dense_defects_do_not_crash(self):
+        layout = RotatedSurfaceCodeLayout(7)
+        model = DefectModel(LINK_AND_QUBIT, 0.15)
+        for seed in range(3):
+            patch = adapt_patch(layout, model.sample(layout, rng=seed))
+            assert patch.summary()["size"] == 7
+
+    def test_stability_layout_center_defect(self):
+        patch = adapt_patch(StabilityLayout(6), DefectSet.of(qubits=[(5, 5)]))
+        assert patch.valid
+        assert patch.super_stabilizers
+        assert patch.check_invariants() == []
+
+
+class TestBookkeeping:
+    def test_defects_outside_chiplet_ignored(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of(qubits=[(99, 99)]))
+        assert not patch.disabled_data
+        assert patch.valid
+
+    def test_summary_fields(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of(qubits=[(5, 5)]))
+        summary = patch.summary()
+        assert summary["num_faulty_qubits"] == 1
+        assert summary["num_super_stabilizers"] == 2
+        assert summary["valid"] is True
+
+    def test_disabled_fraction(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of(qubits=[(5, 5)]))
+        assert patch.disabled_data_fraction() == pytest.approx(1 / 25)
+
+    def test_cluster_repetitions_scale_with_diameter(self):
+        # A 2x2 block of faulty data qubits forms one cluster with diameter >= 1.
+        defects = DefectSet.of(qubits=[(5, 5), (7, 5), (5, 7), (7, 7)])
+        patch = adapt_patch(RotatedSurfaceCodeLayout(9), defects)
+        if patch.super_stabilizers:
+            reps = patch.cluster_repetitions[patch.super_stabilizers[0].cluster_id]
+            assert reps >= 1
+
+    def test_defect_set_helpers(self):
+        defects = DefectSet.of(qubits=[(1, 1)], links=[((1, 1), (2, 2))])
+        assert defects.num_faulty_qubits == 1
+        assert defects.num_faulty_links == 1
+        assert defects and not DefectSet.of().__bool__()
+        merged = defects.union(DefectSet.of(qubits=[(3, 3)]))
+        assert merged.num_faulty_qubits == 2

@@ -1,0 +1,152 @@
+"""Tests for the application estimator, statistics and fitting helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BinomialEstimate,
+    SlopeFit,
+    combine_estimates,
+    fit_ler_ansatz,
+    fit_loglog_slope,
+    wilson_interval,
+)
+from repro.chiplet import (
+    ShorWorkload,
+    application_fidelity,
+    estimate_defect_intolerant_resources,
+    estimate_no_defect_resources,
+    estimate_super_stabilizer_resources,
+    topological_error_rate,
+)
+from repro.noise import DefectModel, LINK_AND_QUBIT
+
+
+class TestTopologicalError:
+    def test_rate_decreases_with_distance(self):
+        assert topological_error_rate(9) < topological_error_rate(5)
+
+    def test_rate_at_threshold_is_prefactor(self):
+        assert topological_error_rate(9, 1e-2) == pytest.approx(0.1)
+
+    def test_zero_distance_fails(self):
+        assert topological_error_rate(0) == 1.0
+
+    def test_paper_quoted_ideal_fidelity(self):
+        """The ideal d=27 Shor-2048 device has ~73% fidelity in the paper."""
+        fid = application_fidelity({27: 1.0}, ShorWorkload())
+        assert 0.6 < fid < 0.85
+
+    def test_low_distance_distribution_gives_zero_fidelity(self):
+        fid = application_fidelity({15: 1.0}, ShorWorkload())
+        assert fid < 1e-6
+
+    def test_higher_distance_gives_higher_fidelity(self):
+        base = application_fidelity({27: 1.0}, ShorWorkload())
+        better = application_fidelity({29: 1.0}, ShorWorkload())
+        assert better > base
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            application_fidelity({}, ShorWorkload())
+
+
+class TestResourceEstimates:
+    WORKLOAD = ShorWorkload(target_distance=9)
+
+    def test_no_defect_estimate(self):
+        est = estimate_no_defect_resources(self.WORKLOAD)
+        assert est.overhead == pytest.approx(1.0)
+        assert est.yield_fraction == 1.0
+        assert est.total_fabricated_qubits == 161 * self.WORKLOAD.num_patches
+
+    def test_defect_intolerant_estimate(self):
+        model = DefectModel(LINK_AND_QUBIT, 0.003)
+        est = estimate_defect_intolerant_resources(model, self.WORKLOAD)
+        assert 0 < est.yield_fraction < 1
+        assert est.overhead > 1.0
+
+    def test_super_stabilizer_estimate(self):
+        model = DefectModel(LINK_AND_QUBIT, 0.003)
+        est = estimate_super_stabilizer_resources(
+            model, chiplet_size=11, workload=self.WORKLOAD, samples=30, seed=0)
+        assert est.chiplet_size == 11
+        assert est.overhead >= 1.0
+        assert abs(sum(est.distance_distribution.values()) - 1.0) < 1e-9 or \
+            not est.distance_distribution
+
+    def test_fidelity_of_estimate_uses_distribution(self):
+        est = estimate_no_defect_resources(ShorWorkload())
+        assert est.fidelity() == pytest.approx(application_fidelity({27: 1.0}))
+
+
+class TestStats:
+    def test_wilson_interval_contains_point_estimate(self):
+        low, high = wilson_interval(10, 100)
+        assert low < 0.1 < high
+
+    def test_wilson_interval_degenerate(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_binomial_estimate(self):
+        est = BinomialEstimate(failures=3, shots=100)
+        assert est.rate == pytest.approx(0.03)
+        assert est.standard_error > 0
+        assert "3/100" in str(est)
+        with pytest.raises(ValueError):
+            BinomialEstimate(failures=5, shots=0)
+
+    def test_combine_estimates(self):
+        merged = combine_estimates(BinomialEstimate(1, 10), BinomialEstimate(3, 30))
+        assert merged.failures == 4 and merged.shots == 40
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50)
+    def test_wilson_interval_is_a_valid_interval(self, k, extra):
+        n = k + extra
+        low, high = wilson_interval(k, n)
+        assert 0.0 <= low <= k / n <= high <= 1.0
+
+
+class TestFitting:
+    def test_slope_fit_recovers_power_law(self):
+        ps = [0.001, 0.002, 0.004, 0.008]
+        lers = [1e-6 * (p / 0.001) ** 2.5 for p in ps]
+        fit = fit_loglog_slope(ps, lers)
+        assert fit.slope == pytest.approx(2.5, rel=1e-6)
+        assert fit.num_points == 4
+        assert fit.predict(0.001) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_zero_ler_points_are_dropped(self):
+        fit = fit_loglog_slope([0.001, 0.002, 0.004], [0.0, 1e-5, 4e-5])
+        assert fit.num_points == 2
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_loglog_slope([0.001, 0.002], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            fit_loglog_slope([0.0, 0.001], [1e-5, 1e-4])
+
+    def test_ansatz_fit(self):
+        ps = [0.001, 0.002, 0.004]
+        distance = 5
+        lers = [0.3 * (10 * p) ** (0.5 * distance) for p in ps]
+        alpha, _ = fit_ler_ansatz(ps, lers, distance)
+        assert alpha == pytest.approx(0.5, rel=1e-6)
+
+    @given(st.floats(min_value=0.5, max_value=4.0),
+           st.floats(min_value=-16.0, max_value=-2.0))
+    @settings(max_examples=40)
+    def test_slope_fit_roundtrip_property(self, slope, log_prefactor):
+        ps = [0.001, 0.002, 0.005, 0.01]
+        lers = [math.exp(log_prefactor) * p ** slope for p in ps]
+        if any(l <= 0 for l in lers):
+            return
+        fit = fit_loglog_slope(ps, lers)
+        assert fit.slope == pytest.approx(slope, rel=1e-6)

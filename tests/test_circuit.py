@@ -1,0 +1,131 @@
+"""Tests for the stabilizer-circuit IR."""
+
+import pytest
+
+from repro.stabilizer.circuit import Circuit, Instruction, MeasurementTracker
+
+
+class TestInstruction:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("FOO", (0,))
+
+    def test_two_qubit_gate_needs_even_targets(self):
+        with pytest.raises(ValueError):
+            Instruction("CX", (0, 1, 2))
+
+    def test_noise_probability_range(self):
+        with pytest.raises(ValueError):
+            Instruction("X_ERROR", (0,), 1.5)
+
+    def test_target_pairs(self):
+        inst = Instruction("CX", (0, 1, 2, 3))
+        assert inst.target_pairs() == [(0, 1), (2, 3)]
+
+
+class TestCircuit:
+    def test_num_qubits_grows_with_targets(self):
+        c = Circuit()
+        c.append("H", [5])
+        assert c.num_qubits == 6
+
+    def test_measurement_counting(self):
+        c = Circuit(2)
+        c.append("M", [0, 1])
+        c.append("MR", [0])
+        assert c.num_measurements == 3
+
+    def test_detector_validates_measurement_indices(self):
+        c = Circuit(1)
+        c.append("M", [0])
+        c.append("DETECTOR", [0])
+        with pytest.raises(ValueError):
+            c.append("DETECTOR", [5])
+
+    def test_observable_validates_measurement_indices(self):
+        c = Circuit(1)
+        c.append("M", [0])
+        with pytest.raises(ValueError):
+            c.append("OBSERVABLE_INCLUDE", [3], 0)
+
+    def test_observable_count(self):
+        c = Circuit(1)
+        c.append("M", [0])
+        c.append("OBSERVABLE_INCLUDE", [0], 2)
+        assert c.num_observables == 3
+
+    def test_cx_identical_qubits_rejected(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError):
+            c.append("CX", [1, 1])
+
+    def test_without_noise_strips_channels(self):
+        c = Circuit(2)
+        c.append("H", [0])
+        c.append("DEPOLARIZE1", [0], 0.01)
+        c.append("CX", [0, 1])
+        c.append("DEPOLARIZE2", [0, 1], 0.01)
+        c.append("M", [0, 1])
+        c.append("DETECTOR", [0, 1])
+        clean = c.without_noise()
+        assert clean.noise_channel_count() == 0
+        assert clean.num_detectors == 1
+        assert clean.num_measurements == 2
+
+    def test_counts(self):
+        c = Circuit(3)
+        c.append("H", [0, 1])
+        c.append("H", [2])
+        assert c.count("H") == 2
+        assert c.count_targets("H") == 3
+
+    def test_detectors_and_observables_views(self):
+        c = Circuit(1)
+        c.append("M", [0])
+        c.append("M", [0])
+        c.append("DETECTOR", [0, 1])
+        c.append("OBSERVABLE_INCLUDE", [1], 0)
+        assert c.detectors() == [(0, 1)]
+        assert c.observables() == {0: [1]}
+
+    def test_validate_catches_future_reference(self):
+        c = Circuit(1)
+        c.append("M", [0])
+        c.append("DETECTOR", [0])
+        # Corrupt the circuit by hand to simulate a builder bug.
+        c.instructions.insert(0, Instruction("DETECTOR", (0,)))
+        with pytest.raises(ValueError):
+            c.validate()
+
+    def test_str_and_repr(self):
+        c = Circuit(2)
+        c.append("CX", [0, 1])
+        c.append("DEPOLARIZE2", [0, 1], 0.001)
+        text = str(c)
+        assert "CX 0 1" in text
+        assert "DEPOLARIZE2" in text
+        assert "qubits=2" in repr(c)
+
+    def test_len_and_iter(self):
+        c = Circuit(1)
+        c.append("H", [0])
+        c.append("M", [0])
+        assert len(c) == 2
+        assert [i.name for i in c] == ["H", "M"]
+
+
+class TestMeasurementTracker:
+    def test_record_and_get(self):
+        t = MeasurementTracker()
+        first = t.record(("a", 0))
+        second = t.record(("a", 1))
+        assert (first, second) == (0, 1)
+        assert t.get(("a", 1)) == 1
+        assert t.total == 2
+
+    def test_history(self):
+        t = MeasurementTracker()
+        t.record("x")
+        t.record("x")
+        assert t.all("x") == [0, 1]
+        assert t.has("x") and not t.has("y")

@@ -1,0 +1,121 @@
+"""Tests for detector-error-model extraction."""
+
+import pytest
+
+from repro.core import adapt_patch
+from repro.noise import CircuitNoiseModel, DefectSet
+from repro.stabilizer import Circuit, build_detector_error_model
+from repro.stabilizer.dem import DemError, _xor_combine
+from repro.surface_code import RotatedSurfaceCodeLayout, build_memory_circuit
+
+
+def _two_bit_repetition(p_data: float, p_meas: float) -> Circuit:
+    """Two data qubits, one parity ancilla, two rounds."""
+    c = Circuit(3)
+    c.append("R", [0, 1, 2])
+    for r in range(2):
+        c.append("X_ERROR", [0, 1], p_data)
+        c.append("CX", [0, 2, 1, 2])
+        c.append("X_ERROR", [2], p_meas)
+        c.append("MR", [2])
+        if r == 0:
+            c.append("DETECTOR", [0])
+        else:
+            c.append("DETECTOR", [0, 1])
+    c.append("M", [0, 1])
+    c.append("DETECTOR", [2, 3, 1])
+    c.append("OBSERVABLE_INCLUDE", [2], 0)
+    return c
+
+
+class TestSmallCircuits:
+    def test_no_noise_gives_empty_dem(self):
+        dem = build_detector_error_model(_two_bit_repetition(0.0, 0.0))
+        assert len(dem) == 0
+
+    def test_measurement_error_creates_time_edge(self):
+        dem = build_detector_error_model(_two_bit_repetition(0.0, 0.01))
+        # A flip of the round-0 ancilla measurement flips detectors 0 and 1.
+        assert any(e.detectors == (0, 1) and not e.observables for e in dem)
+
+    def test_data_error_flips_observable(self):
+        dem = build_detector_error_model(_two_bit_repetition(0.01, 0.0))
+        assert any(e.observables == (0,) for e in dem)
+
+    def test_probabilities_combine_with_xor_rule(self):
+        c = Circuit(1)
+        c.append("R", [0])
+        c.append("X_ERROR", [0], 0.1)
+        c.append("X_ERROR", [0], 0.2)
+        c.append("M", [0])
+        c.append("DETECTOR", [0])
+        dem = build_detector_error_model(c)
+        assert len(dem) == 1
+        assert dem.errors[0].probability == pytest.approx(_xor_combine(0.1, 0.2))
+
+    def test_xor_combine_values(self):
+        assert _xor_combine(0.0, 0.3) == pytest.approx(0.3)
+        assert _xor_combine(0.5, 0.5) == pytest.approx(0.5)
+
+    def test_depolarize1_splits_into_basis_mechanisms(self):
+        c = Circuit(1)
+        c.append("R", [0])
+        c.append("DEPOLARIZE1", [0], 0.03)
+        c.append("M", [0])
+        c.append("DETECTOR", [0])
+        dem = build_detector_error_model(c)
+        # Only the X and Y components are visible; they merge into one edge of
+        # probability ~2p/3 (the XOR-combination rule differs from the exact
+        # mutually-exclusive value only at second order in p).
+        assert len(dem) == 1
+        assert dem.errors[0].probability == pytest.approx(2 * 0.03 / 3, rel=2e-2)
+
+    def test_error_with_zero_probability_dropped(self):
+        c = Circuit(1)
+        c.append("R", [0])
+        c.append("X_ERROR", [0], 0.0)
+        c.append("M", [0])
+        c.append("DETECTOR", [0])
+        assert len(build_detector_error_model(c)) == 0
+
+    def test_demerror_graphlike(self):
+        assert DemError(0.1, (1, 2), ()).is_graphlike()
+        assert not DemError(0.1, (1, 2, 3), ()).is_graphlike()
+
+
+class TestSurfaceCodeDems:
+    @pytest.fixture(scope="class")
+    def defect_free_dem(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(3), DefectSet.of())
+        circuit = build_memory_circuit(patch, CircuitNoiseModel.standard(1e-3))
+        return build_detector_error_model(circuit)
+
+    def test_all_errors_are_graphlike(self, defect_free_dem):
+        assert all(e.is_graphlike() for e in defect_free_dem)
+
+    def test_no_undetectable_logical_errors(self, defect_free_dem):
+        """A distance-3 circuit must not contain weight-1 logical errors."""
+        assert defect_free_dem.undetectable_logical_errors() == []
+
+    def test_probabilities_in_range(self, defect_free_dem):
+        assert all(0 < e.probability < 0.5 for e in defect_free_dem)
+
+    def test_union_bound_reasonable(self, defect_free_dem):
+        assert 0 < defect_free_dem.total_error_probability_bound() <= 1.0
+
+    def test_detector_indices_in_range(self, defect_free_dem):
+        for e in defect_free_dem:
+            assert all(0 <= d < defect_free_dem.num_detectors for d in e.detectors)
+
+    def test_superstabilizer_patch_dem_has_no_undetectable_logicals(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of(qubits=[(5, 5)]))
+        circuit = build_memory_circuit(patch, CircuitNoiseModel.standard(1e-3))
+        dem = build_detector_error_model(circuit)
+        assert dem.undetectable_logical_errors() == []
+        assert all(e.is_graphlike() for e in dem)
+
+    def test_hyperedges_kept_when_not_decomposing(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(3), DefectSet.of())
+        circuit = build_memory_circuit(patch, CircuitNoiseModel.standard(1e-3))
+        dem = build_detector_error_model(circuit, decompose=False)
+        assert len(dem) > 0

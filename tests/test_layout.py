@@ -1,0 +1,148 @@
+"""Tests for the rotated surface-code and stability-patch layouts."""
+
+import pytest
+
+from repro.stabilizer.pauli import PauliString, batch_commutes
+from repro.surface_code import RotatedSurfaceCodeLayout, StabilityLayout, plaquette_kind
+
+
+def _check_paulis(layout):
+    index = {d: i for i, d in enumerate(layout.data_qubits)}
+    out = []
+    for check in layout.checks:
+        out.append(PauliString.from_sparse(
+            len(index), {index[d]: check.kind for d in check.data}))
+    return out, index
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("d", [2, 3, 5, 7, 9, 11, 13])
+    def test_counts(self, d):
+        layout = RotatedSurfaceCodeLayout(d)
+        assert layout.num_data_qubits == d * d
+        assert len(layout.checks) == d * d - 1
+        assert layout.num_fabricated_qubits == 2 * d * d - 1
+        assert layout.num_links == 4 * d * (d - 1)
+
+    @pytest.mark.parametrize("d", [3, 5, 7, 9])
+    def test_every_data_qubit_in_both_check_types(self, d):
+        layout = RotatedSurfaceCodeLayout(d)
+        for data, checks in layout.checks_containing.items():
+            kinds = {c.kind for c in checks}
+            assert kinds == {"X", "Z"}, f"{data} only touches {kinds}"
+
+    @pytest.mark.parametrize("d", [3, 5, 7, 9])
+    def test_all_checks_commute(self, d):
+        paulis, _ = _check_paulis(RotatedSurfaceCodeLayout(d))
+        assert batch_commutes(paulis)
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_check_weights(self, d):
+        layout = RotatedSurfaceCodeLayout(d)
+        weights = sorted(c.weight for c in layout.checks)
+        assert set(weights) <= {2, 4}
+        assert weights.count(2) == 2 * (d - 1)
+
+    def test_plaquette_kind_checkerboard(self):
+        assert plaquette_kind((2, 2)) == "X"
+        assert plaquette_kind((4, 2)) == "Z"
+        assert plaquette_kind((4, 4)) == "X"
+        with pytest.raises(ValueError):
+            plaquette_kind((1, 2))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            RotatedSurfaceCodeLayout(1)
+
+    def test_is_data_is_ancilla(self):
+        layout = RotatedSurfaceCodeLayout(3)
+        assert layout.is_data((1, 1))
+        assert not layout.is_ancilla((1, 1))
+        assert layout.is_ancilla((2, 2))
+        assert not layout.is_data((2, 2))
+
+    def test_links_touch_valid_pairs(self):
+        layout = RotatedSurfaceCodeLayout(5)
+        for data, anc in layout.links:
+            assert layout.is_data(data)
+            assert layout.is_ancilla(anc)
+            assert abs(data[0] - anc[0]) == 1 and abs(data[1] - anc[1]) == 1
+
+    def test_side_of(self):
+        layout = RotatedSurfaceCodeLayout(5)
+        assert set(layout.side_of((1, 1))) == {"top", "left"}
+        assert layout.side_of((5, 5)) == []
+        assert layout.side_of((9, 5)) == ["right"]
+
+
+class TestLogicalOperators:
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logical_x_commutes_with_all_z_checks(self, d):
+        layout = RotatedSurfaceCodeLayout(d)
+        paulis, index = _check_paulis(layout)
+        xl = PauliString.from_sparse(
+            len(index), {index[q]: "X" for q in layout.logical_x_support()})
+        for check, pauli in zip(layout.checks, paulis):
+            if check.kind == "Z":
+                assert xl.commutes_with(pauli)
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logical_z_commutes_with_all_x_checks(self, d):
+        layout = RotatedSurfaceCodeLayout(d)
+        paulis, index = _check_paulis(layout)
+        zl = PauliString.from_sparse(
+            len(index), {index[q]: "Z" for q in layout.logical_z_support()})
+        for check, pauli in zip(layout.checks, paulis):
+            if check.kind == "X":
+                assert zl.commutes_with(pauli)
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logicals_anticommute_and_have_weight_d(self, d):
+        layout = RotatedSurfaceCodeLayout(d)
+        index = {q: i for i, q in enumerate(layout.data_qubits)}
+        xl = PauliString.from_sparse(
+            len(index), {index[q]: "X" for q in layout.logical_x_support()})
+        zl = PauliString.from_sparse(
+            len(index), {index[q]: "Z" for q in layout.logical_z_support()})
+        assert xl.anticommutes_with(zl)
+        assert xl.weight() == d
+        assert zl.weight() == d
+
+    def test_boundary_sides(self):
+        layout = RotatedSurfaceCodeLayout(3)
+        sides = layout.boundary_sides()
+        assert sides["top"] == "X" and sides["left"] == "Z"
+
+
+class TestStabilityLayout:
+    @pytest.mark.parametrize("d", [2, 4, 6, 8])
+    def test_product_of_z_checks_is_identity(self, d):
+        layout = StabilityLayout(d)
+        index = {q: i for i, q in enumerate(layout.data_qubits)}
+        product = PauliString.identity(len(index))
+        for check in layout.checks:
+            if check.kind == "Z":
+                product = product * PauliString.from_sparse(
+                    len(index), {index[q]: "Z" for q in check.data})
+        assert product.is_identity()
+
+    @pytest.mark.parametrize("d", [4, 6])
+    def test_all_checks_commute(self, d):
+        paulis, _ = _check_paulis(StabilityLayout(d))
+        assert batch_commutes(paulis)
+
+    def test_every_data_qubit_in_exactly_two_z_checks(self):
+        layout = StabilityLayout(6)
+        for data, checks in layout.checks_containing.items():
+            assert sum(1 for c in checks if c.kind == "Z") == 2
+
+    def test_boundaries_all_z(self):
+        assert set(StabilityLayout(4).boundary_sides().values()) == {"Z"}
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            StabilityLayout(5)
+
+    def test_no_logical_operators_exposed(self):
+        with pytest.raises(NotImplementedError):
+            StabilityLayout(4).logical_x_support()

@@ -1,0 +1,120 @@
+"""Tests for the patch figures of merit (distance, operator counts, clusters)."""
+
+import pytest
+
+from repro.core import (
+    adapt_patch,
+    build_chain_graph,
+    code_distance,
+    evaluate_patch,
+    num_shortest_logicals,
+)
+from repro.noise import DefectModel, DefectSet, LINK_AND_QUBIT
+from repro.surface_code import RotatedSurfaceCodeLayout
+
+
+@pytest.fixture(scope="module")
+def defect_free_5():
+    return adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of())
+
+
+class TestDefectFreeDistances:
+    @pytest.mark.parametrize("d", [3, 5, 7, 9, 11])
+    def test_distance_equals_width(self, d):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(d), DefectSet.of())
+        assert code_distance(patch, "X") == d
+        assert code_distance(patch, "Z") == d
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_shortest_logical_count_grows_with_size(self, d):
+        smaller = adapt_patch(RotatedSurfaceCodeLayout(d), DefectSet.of())
+        larger = adapt_patch(RotatedSurfaceCodeLayout(d + 2), DefectSet.of())
+        assert num_shortest_logicals(larger, "X") > num_shortest_logicals(smaller, "X")
+
+    def test_counts_symmetric_between_directions(self, defect_free_5):
+        assert num_shortest_logicals(defect_free_5, "X") == \
+            num_shortest_logicals(defect_free_5, "Z")
+
+    def test_invalid_error_type_rejected(self, defect_free_5):
+        with pytest.raises(ValueError):
+            build_chain_graph(defect_free_5, "Y")
+
+
+class TestDefectivePatchMetrics:
+    def test_central_data_defect_reduces_distance_by_one(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of(qubits=[(5, 5)]))
+        metrics = evaluate_patch(patch)
+        assert metrics.distance_x == 4
+        assert metrics.distance_z == 4
+        assert metrics.distance == 4
+
+    def test_defective_patch_has_fewer_shortest_logicals_than_same_d_defect_free(self):
+        """The paper's explanation for why defective patches with the same d
+        outperform defect-free ones: fewer minimum-weight logical operators."""
+        defective = adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of(qubits=[(5, 5)]))
+        reference = adapt_patch(RotatedSurfaceCodeLayout(4), DefectSet.of())
+        d_metrics = evaluate_patch(defective)
+        r_metrics = evaluate_patch(reference)
+        assert d_metrics.distance == r_metrics.distance == 4
+        assert d_metrics.num_shortest < r_metrics.num_shortest
+
+    def test_anisotropic_distance_possible(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(9), DefectSet.of(qubits=[(3, 1)]))
+        metrics = evaluate_patch(patch)
+        assert metrics.distance == min(metrics.distance_x, metrics.distance_z)
+        assert metrics.distance_x != metrics.distance_z
+
+    def test_more_defects_never_raise_distance(self):
+        layout = RotatedSurfaceCodeLayout(9)
+        one = evaluate_patch(adapt_patch(layout, DefectSet.of(qubits=[(9, 9)])))
+        two = evaluate_patch(adapt_patch(layout, DefectSet.of(qubits=[(9, 9), (5, 5)])))
+        assert two.distance <= one.distance
+
+    def test_metrics_fields_populated(self):
+        layout = RotatedSurfaceCodeLayout(7)
+        defects = DefectModel(LINK_AND_QUBIT, 0.03).sample(layout, rng=5)
+        metrics = evaluate_patch(adapt_patch(layout, defects))
+        assert metrics.num_faulty_qubits == defects.num_faulty_qubits
+        assert metrics.num_faulty_links == defects.num_faulty_links
+        assert 0.0 <= metrics.disabled_data_fraction <= 1.0
+        assert metrics.largest_cluster_diameter >= 0.0
+
+    def test_invalid_patch_reports_zero_distance(self):
+        layout = RotatedSurfaceCodeLayout(5)
+        patch = adapt_patch(layout, DefectSet.of())
+        patch.valid = False
+        metrics = evaluate_patch(patch)
+        assert metrics.distance == 0
+        assert not metrics.valid
+
+    def test_num_shortest_uses_limiting_direction(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(9), DefectSet.of(qubits=[(3, 1)]))
+        metrics = evaluate_patch(patch)
+        if metrics.distance_x < metrics.distance_z:
+            assert metrics.num_shortest == metrics.num_shortest_x
+        elif metrics.distance_z < metrics.distance_x:
+            assert metrics.num_shortest == metrics.num_shortest_z
+
+
+class TestChainGraph:
+    def test_shortest_path_qubits_length_matches_distance(self, defect_free_5):
+        graph = build_chain_graph(defect_free_5, "X")
+        path = graph.shortest_path_qubits()
+        assert len(path) == graph.shortest_path_length() == 5
+
+    def test_path_avoidance(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(5), DefectSet.of(qubits=[(5, 5)]))
+        graph = build_chain_graph(patch, "Z")
+        avoid = {d for g in patch.gauge_operators for d in g.data}
+        path = graph.shortest_path_qubits(avoid=avoid)
+        assert path is not None
+        assert not (set(path) & avoid)
+
+    def test_path_count_at_least_one_when_path_exists(self, defect_free_5):
+        graph = build_chain_graph(defect_free_5, "X")
+        assert graph.shortest_path_count() >= 1
+
+    def test_graph_counts_match_module_functions(self, defect_free_5):
+        graph = build_chain_graph(defect_free_5, "X")
+        assert graph.shortest_path_length() == code_distance(defect_free_5, "X")
+        assert graph.shortest_path_count() == num_shortest_logicals(defect_free_5, "X")

@@ -1,0 +1,132 @@
+"""Unit and property-based tests for the Pauli-string algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stabilizer.pauli import PauliString, batch_commutes, commutes, pauli_product
+
+
+def pauli_strings(max_qubits: int = 12):
+    return st.integers(min_value=1, max_value=max_qubits).flatmap(
+        lambda n: st.text(alphabet="IXYZ", min_size=n, max_size=n)
+    ).map(PauliString.from_string)
+
+
+def pauli_pairs(max_qubits: int = 12):
+    return st.integers(min_value=1, max_value=max_qubits).flatmap(
+        lambda n: st.tuples(
+            st.text(alphabet="IXYZ", min_size=n, max_size=n),
+            st.text(alphabet="IXYZ", min_size=n, max_size=n),
+        )
+    ).map(lambda pair: (PauliString.from_string(pair[0]), PauliString.from_string(pair[1])))
+
+
+class TestConstruction:
+    def test_identity_has_zero_weight(self):
+        assert PauliString.identity(5).weight() == 0
+
+    def test_from_string_roundtrip(self):
+        assert str(PauliString.from_string("IXZY")) == "IXZY"
+
+    def test_from_string_rejects_bad_characters(self):
+        with pytest.raises(ValueError):
+            PauliString.from_string("XQ")
+
+    def test_from_sparse(self):
+        p = PauliString.from_sparse(4, {0: "X", 3: "Z"})
+        assert str(p) == "XIIZ"
+
+    def test_from_sparse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PauliString.from_sparse(2, {5: "X"})
+
+    def test_single(self):
+        assert str(PauliString.single(3, 1, "Y")) == "IYI"
+
+    def test_mismatched_xs_zs_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+
+class TestAlgebra:
+    def test_xz_anticommute(self):
+        assert PauliString.from_string("X").anticommutes_with(PauliString.from_string("Z"))
+
+    def test_xx_commute(self):
+        assert commutes(PauliString.from_string("XX"), PauliString.from_string("XX"))
+
+    def test_two_qubit_overlap_commutes(self):
+        a = PauliString.from_string("XXI")
+        b = PauliString.from_string("ZZI")
+        assert a.commutes_with(b)
+
+    def test_product_of_x_and_z_is_y(self):
+        p = PauliString.from_string("X") * PauliString.from_string("Z")
+        assert str(p) == "Y"
+
+    def test_product_mismatched_length_rejected(self):
+        with pytest.raises(ValueError):
+            PauliString.from_string("X") * PauliString.from_string("XX")
+
+    def test_support_and_sparse(self):
+        p = PauliString.from_string("IXIZ")
+        assert p.support() == [1, 3]
+        assert p.to_sparse() == {1: "X", 3: "Z"}
+
+    def test_restricted_to(self):
+        p = PauliString.from_string("XYZ")
+        assert str(p.restricted_to([0, 2])) == "XIZ"
+
+    def test_equality_and_hash(self):
+        a = PauliString.from_string("XZ")
+        b = PauliString.from_string("XZ")
+        assert a == b and hash(a) == hash(b)
+
+    def test_pauli_product_empty_requires_num_qubits(self):
+        with pytest.raises(ValueError):
+            pauli_product([])
+        assert pauli_product([], num_qubits=3).is_identity()
+
+    def test_batch_commutes_detects_violation(self):
+        group = [PauliString.from_string("XI"), PauliString.from_string("ZI")]
+        assert not batch_commutes(group)
+        group = [PauliString.from_string("XX"), PauliString.from_string("ZZ")]
+        assert batch_commutes(group)
+
+
+class TestProperties:
+    @given(pauli_strings())
+    @settings(max_examples=60)
+    def test_self_product_is_identity(self, p):
+        assert (p * p).is_identity()
+
+    @given(pauli_pairs())
+    @settings(max_examples=60)
+    def test_commutation_is_symmetric(self, pair):
+        a, b = pair
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(pauli_pairs())
+    @settings(max_examples=60)
+    def test_product_commutes_with_both_iff_consistent(self, pair):
+        # (a*b) commutes with a exactly when b commutes with a.
+        a, b = pair
+        assert (a * b).commutes_with(a) == b.commutes_with(a)
+
+    @given(pauli_strings())
+    @settings(max_examples=60)
+    def test_weight_equals_support_size(self, p):
+        assert p.weight() == len(p.support())
+
+    @given(pauli_pairs())
+    @settings(max_examples=60)
+    def test_product_weight_triangle(self, pair):
+        a, b = pair
+        assert (a * b).weight() <= a.weight() + b.weight()
+
+    @given(pauli_strings())
+    @settings(max_examples=60)
+    def test_identity_commutes_with_everything(self, p):
+        assert p.commutes_with(PauliString.identity(p.num_qubits))
