@@ -3,16 +3,40 @@
 Every benchmark regenerates the data behind one figure or table of the paper
 at laptop scale (see EXPERIMENTS.md for the scale mapping) and prints the
 resulting series so the run doubles as a reproduction report.
+
+The ``engine_config`` fixture builds the Monte-Carlo execution engine from
+the environment and installs it as the process default, so the same
+benchmark run exercises the serial path (no env vars), the process-pool path
+(``REPRO_WORKERS=4``), or the cached path (``REPRO_CACHE=.repro-cache``)
+without any edits.  LER-based benchmarks always route through the engine
+(results bit-identical across worker counts); the yield Monte-Carlo paths
+use the pool only when ``REPRO_WORKERS > 1`` (their serial path keeps the
+legacy sequential RNG stream for seed compatibility).
 """
 
 import numpy as np
 import pytest
+
+from repro.engine import Engine, EngineConfig, set_default_engine
 
 
 @pytest.fixture(scope="session")
 def benchmark_seed() -> int:
     """A fixed seed so benchmark numbers are reproducible run to run."""
     return 20240427
+
+
+@pytest.fixture(scope="session", autouse=True)
+def engine_config() -> EngineConfig:
+    """Engine configuration from REPRO_WORKERS / REPRO_CACHE / REPRO_SHARD_SIZE.
+
+    Autouse: the configured engine becomes the process-wide default, so every
+    experiment driver in the benchmark suite runs through it.
+    """
+    config = EngineConfig.from_env()
+    set_default_engine(Engine(config))
+    yield config
+    set_default_engine(None)
 
 
 def print_series(title: str, rows) -> None:

@@ -7,14 +7,31 @@ yield of post-selected chiplets, converts it into the average number of
 fabricated physical qubits per logical qubit, and reports the optimal chiplet
 size per defect rate - the co-design decision the paper is about.
 
-Run with ``python examples/chiplet_yield_study.py``.
+Run with ``python examples/chiplet_yield_study.py``.  The per-chiplet
+adaptation and distance evaluation dominate the run time, so ``--workers N``
+fans the yield Monte-Carlo out over the engine's process pool.
 """
 
+import argparse
+from dataclasses import replace
+
 from repro.chiplet import OverheadStudy, defect_intolerant_overhead, optimal_chiplet_size
+from repro.engine import Engine, EngineConfig
 from repro.noise import DefectModel, LINK_ONLY
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: REPRO_WORKERS or 1)")
+    parser.add_argument("--samples", type=int, default=80,
+                        help="chiplet samples per (size, rate) cell")
+    args = parser.parse_args()
+    config = EngineConfig.from_env()
+    if args.workers is not None:
+        config = replace(config, max_workers=args.workers)
+    engine = Engine(config)
+
     target_distance = 5
     chiplet_sizes = (5, 7, 9)
     defect_rates = (0.0, 0.005, 0.01, 0.02)
@@ -24,8 +41,9 @@ def main() -> None:
         defect_model_kind=LINK_ONLY,
         chiplet_sizes=chiplet_sizes,
         defect_rates=defect_rates,
-        samples=80,
+        samples=args.samples,
         seed=11,
+        engine=engine,
     )
     points = study.run()
 

@@ -7,13 +7,32 @@ super-stabilizer overhead.  This example runs the stability experiment for
 both options across a range of bad-qubit error rates and reports which choice
 wins at each good-qubit error rate.
 
-Run with ``python examples/cutoff_fidelity.py``.
+Run with ``python examples/cutoff_fidelity.py``.  The sweep is a batch of
+engine tasks (one per strategy/bad-rate/p cell), so ``--workers N`` runs the
+cells in parallel and ``--cache DIR`` makes reruns near-instant.
 """
 
+import argparse
+from dataclasses import replace
+
+from repro.engine import Engine, EngineConfig
 from repro.experiments import run_cutoff_study
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: REPRO_WORKERS or 1)")
+    parser.add_argument("--cache", default=None,
+                        help="result-cache directory (default: REPRO_CACHE or off)")
+    args = parser.parse_args()
+    config = EngineConfig.from_env()
+    if args.workers is not None:
+        config = replace(config, max_workers=args.workers)
+    if args.cache is not None:
+        config = replace(config, cache_dir=args.cache)
+    engine = Engine(config)
+
     study = run_cutoff_study(
         size=4,
         rounds=4,
@@ -21,6 +40,7 @@ def main() -> None:
         bad_qubit_error_rates=(0.05, 0.10, 0.15),
         shots=2000,
         seed=3,
+        engine=engine,
     )
 
     rates = sorted({p.physical_error_rate for p in study.points})

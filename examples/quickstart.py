@@ -8,19 +8,45 @@ This walks the library's main pipeline end to end:
    boundary deformations),
 3. inspect the figures of merit the paper uses for post-selection,
 4. generate the noisy syndrome-extraction circuit, and
-5. run a small memory experiment: sample detectors, decode with MWPM, and
-   report the logical error rate.
+5. run an engine-backed LER sweep: sample detectors, decode with MWPM and
+   report the logical-error-rate curve, optionally sharded over a process
+   pool and cached on disk.
 
-Run with ``python examples/quickstart.py``.
+Run with ``python examples/quickstart.py``.  Useful variations::
+
+    python examples/quickstart.py --workers 4             # parallel sweep
+    python examples/quickstart.py --cache .repro-cache    # warm the cache
+    python examples/quickstart.py --cache .repro-cache    # ~instant rerun
 """
 
+import argparse
+import time
+from dataclasses import replace
+
 from repro.core import adapt_patch, evaluate_patch
-from repro.experiments import run_memory_experiment
+from repro.engine import Engine, EngineConfig, LerPointTask
 from repro.noise import DefectModel, DefectSet, LINK_AND_QUBIT, CircuitNoiseModel
 from repro.surface_code import RotatedSurfaceCodeLayout, build_memory_circuit
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: REPRO_WORKERS or 1)")
+    parser.add_argument("--cache", default=None,
+                        help="result-cache directory (default: REPRO_CACHE or off)")
+    parser.add_argument("--shots", type=int, default=20000,
+                        help="Monte-Carlo shots per sweep point")
+    parser.add_argument("--seed", type=int, default=7, help="root seed")
+    args = parser.parse_args()
+
+    config = EngineConfig.from_env()
+    if args.workers is not None:
+        config = replace(config, max_workers=args.workers)
+    if args.cache is not None:
+        config = replace(config, cache_dir=args.cache)
+    engine = Engine(config)
+
     size = 7
     layout = RotatedSurfaceCodeLayout(size)
     print(f"Chiplet: {size}x{size} data qubits, "
@@ -49,19 +75,32 @@ def main() -> None:
     print(f"Circuit: {circuit.num_qubits} qubits, {len(circuit)} instructions, "
           f"{circuit.num_detectors} detectors")
 
-    # 5. A small memory experiment (decoded with minimum-weight matching).
-    result = run_memory_experiment(patch, physical_error_rate=0.005,
-                                   shots=2000, seed=1)
-    estimate = result.estimate
-    low, high = estimate.confidence_interval()
-    print(f"Logical error rate at p=0.005: {estimate.rate:.4f} "
-          f"(95% CI [{low:.4f}, {high:.4f}])")
-
-    # Compare with the defect-free patch of the same width.
+    # 5. Engine-backed LER sweep: the defective patch and the defect-free
+    #    reference, across a window of physical error rates.  Shots are split
+    #    into shards across the worker pool and every (task, seed) cell lands
+    #    in the on-disk cache, so a rerun of this script is near-instant.
     clean = adapt_patch(layout, DefectSet.of())
-    clean_result = run_memory_experiment(clean, physical_error_rate=0.005,
-                                         shots=2000, seed=1)
-    print(f"Defect-free reference LER:       {clean_result.logical_error_rate:.4f}")
+    physical_error_rates = (0.002, 0.003, 0.005, 0.008)
+    tasks = [LerPointTask.from_patch("memory", p_, rate)
+             for p_ in (patch, clean) for rate in physical_error_rates]
+    labels = [f"{name} p={rate}"
+              for name in ("defective ", "defect-free")
+              for rate in physical_error_rates]
+
+    print(f"\nLER sweep: {len(tasks)} points x {args.shots} shots "
+          f"(workers={config.max_workers}, shard={config.shard_size}, "
+          f"cache={config.cache_dir or 'off'})")
+    start = time.perf_counter()
+    results = engine.run_ler_many(tasks, shots=args.shots, seed=args.seed)
+    elapsed = time.perf_counter() - start
+
+    for label, result in zip(labels, results):
+        low, high = result.estimate.confidence_interval()
+        origin = "cache" if result.from_cache else f"{result.num_shards} shard(s)"
+        print(f"  {label}: LER {result.logical_error_rate:.4f} "
+              f"(95% CI [{low:.4f}, {high:.4f}], {origin})")
+    print(f"Sweep wall-clock: {elapsed:.2f} s"
+          + ("" if config.cache_dir else "  (pass --cache DIR to make reruns instant)"))
 
 
 if __name__ == "__main__":

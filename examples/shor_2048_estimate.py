@@ -19,19 +19,22 @@ Run with ``python examples/shor_2048_estimate.py``.
 """
 
 import argparse
+from dataclasses import replace
 
 from repro.chiplet import ShorWorkload
+from repro.engine import Engine, EngineConfig
 from repro.experiments.paper import table1_and_2_resources, table3_and_4_fidelity
 
 
 def report(defect_rate: float, chiplet_size: int, workload: ShorWorkload,
-           samples: int) -> None:
+           samples: int, engine: Engine) -> None:
     resources = table1_and_2_resources(
         defect_rate=defect_rate,
         chiplet_size=chiplet_size,
         workload=workload,
         samples=samples,
         seed=5,
+        engine=engine,
     )
     fidelities = table3_and_4_fidelity(resources, workload=workload)
 
@@ -50,7 +53,15 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--paper-scale", action="store_true",
                         help="run the full d=27 / l=33..39 study (slow)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for the yield Monte-Carlo "
+                             "(default: REPRO_WORKERS or 1)")
     args = parser.parse_args()
+
+    config = EngineConfig.from_env()
+    if args.workers is not None:
+        config = replace(config, max_workers=args.workers)
+    engine = Engine(config)
 
     if args.paper_scale:
         workload = ShorWorkload()          # d = 27, 226 x 63 patches, 25e9 rounds
@@ -62,7 +73,7 @@ def main() -> None:
     print("Shor-2048 resource and fidelity estimates "
           f"({'paper' if args.paper_scale else 'reduced'} scale)")
     for rate, size, samples in cases:
-        report(rate, size, workload, samples)
+        report(rate, size, workload, samples, engine)
 
 
 if __name__ == "__main__":

@@ -13,9 +13,12 @@ The package is organised as:
   application-level estimates.
 * :mod:`repro.experiments` - memory/stability experiment drivers and
   per-figure reproduction entry points.
+* :mod:`repro.engine` - parallel Monte-Carlo execution engine: hashable
+  task specs, sharded process-pool execution, adaptive shot allocation and
+  a content-addressed on-disk result cache.
 * :mod:`repro.analysis` - statistics and curve fitting.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

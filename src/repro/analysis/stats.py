@@ -24,6 +24,13 @@ def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float
     margin = z * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
     low = max(0.0, (centre - margin) / denom)
     high = min(1.0, (centre + margin) / denom)
+    # At the boundaries the exact Wilson limits are 0 and 1, but the
+    # centre/margin cancellation leaves ~1e-18 of floating-point residue,
+    # which would put the bound on the wrong side of the point estimate.
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
     return (low, high)
 
 

@@ -153,11 +153,14 @@ def estimate_super_stabilizer_resources(
     allow_rotation: bool = False,
     seed: Optional[int] = None,
     yield_result: Optional[YieldResult] = None,
+    engine=None,
 ) -> ResourceEstimate:
     """The super-stabilizer approach at a given chiplet size.
 
     The yield and the code-distance distribution of accepted chiplets are
     estimated by Monte-Carlo (or taken from a pre-computed ``yield_result``).
+    An ``engine`` (see :mod:`repro.engine`) fans the sampling out over its
+    worker pool.
     """
     d = workload.target_distance
     if yield_result is None:
@@ -165,7 +168,7 @@ def estimate_super_stabilizer_resources(
             chiplet_size, defect_model, DistanceCriterion(d),
             allow_rotation=allow_rotation, seed=seed,
         )
-        yield_result = estimator.run(samples)
+        yield_result = estimator.run(samples, engine=engine)
     y = yield_result.yield_fraction
     cost = average_cost_per_logical_qubit(chiplet_size, y)
     return ResourceEstimate(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.postselection import DistanceCriterion
+from ..engine.rng import Seed, child_stream
 from ..noise.fabrication import DefectModel
 from ..surface_code.layout import RotatedSurfaceCodeLayout
 from .yield_model import YieldEstimator, YieldResult, defect_intolerant_yield
@@ -86,14 +87,15 @@ class OverheadStudy:
     defect_rates: Sequence[float]
     samples: int = 200
     allow_rotation: bool = False
-    seed: Optional[int] = None
+    seed: Seed = None
+    engine: object = None  # Optional[repro.engine.Engine]
 
     def run(self) -> List[OverheadPoint]:
         points: List[OverheadPoint] = []
         criterion = DistanceCriterion(self.target_distance)
-        seed = self.seed
-        for size in self.chiplet_sizes:
-            for rate in self.defect_rates:
+        n_rates = len(self.defect_rates)
+        for i, size in enumerate(self.chiplet_sizes):
+            for j, rate in enumerate(self.defect_rates):
                 model = DefectModel(self.defect_model_kind, rate)
                 if rate == 0.0:
                     # No defects: every chiplet passes as long as l >= d.
@@ -104,12 +106,17 @@ class OverheadStudy:
                         cost_per_logical_qubit=average_cost_per_logical_qubit(size, y),
                         overhead=overhead_factor(size, y, self.target_distance)))
                     continue
+                # One SeedSequence child stream per (size, rate) cell; the
+                # old ``seed + size*1000 + int(rate*1e6)`` arithmetic could
+                # collide between neighbouring cells.
+                cell_seed = (None if self.seed is None
+                             else child_stream(self.seed, i * n_rates + j))
                 estimator = YieldEstimator(
                     size, model, criterion,
                     allow_rotation=self.allow_rotation,
-                    seed=None if seed is None else seed + size * 1000 + int(rate * 1e6),
+                    seed=cell_seed,
                 )
-                result = estimator.run(self.samples)
+                result = estimator.run(self.samples, engine=self.engine)
                 points.append(OverheadPoint.from_yield(result, self.target_distance))
         return points
 

@@ -18,6 +18,7 @@ import numpy as np
 from ..analysis.stats import BinomialEstimate
 from ..core.metrics import PatchMetrics
 from ..core.postselection import DefectFreeCriterion, PostSelectionCriterion
+from ..engine.rng import Seed, child_stream, from_fingerprint, seed_fingerprint
 from ..noise.fabrication import DefectModel
 from ..surface_code.layout import RotatedSurfaceCodeLayout
 from .architecture import Chiplet
@@ -70,32 +71,38 @@ class YieldEstimator:
         *,
         allow_rotation: bool = False,
         boundary_standard: Optional[BoundaryStandard] = None,
-        seed: Optional[int] = None,
+        seed: Seed = None,
     ):
         self.chiplet_size = int(chiplet_size)
         self.defect_model = defect_model
         self.criterion = criterion
         self.allow_rotation = allow_rotation
         self.boundary_standard = boundary_standard
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.layout = RotatedSurfaceCodeLayout(chiplet_size)
 
     # ------------------------------------------------------------------
     def _evaluate_one(self) -> tuple:
-        chiplet = Chiplet(layout=self.layout,
-                          defects=self.defect_model.sample(self.layout, self.rng))
-        if self.allow_rotation:
-            chiplet = chiplet.best_orientation(self.criterion)
-        metrics = chiplet.metrics
-        accepted = self.criterion.accepts(metrics)
-        if accepted and self.boundary_standard is not None:
-            accepted = self.boundary_standard.accepts(chiplet.patch)
-        return metrics, accepted
+        return _evaluate_chiplet(self.layout, self.defect_model, self.criterion,
+                                 self.allow_rotation, self.boundary_standard,
+                                 self.rng)
 
-    def run(self, samples: int) -> YieldResult:
-        """Sample ``samples`` chiplets and measure the acceptance fraction."""
+    def run(self, samples: int, *, engine=None) -> YieldResult:
+        """Sample ``samples`` chiplets and measure the acceptance fraction.
+
+        Without an ``engine`` this is the legacy sequential Monte-Carlo
+        (sample ``i+1`` continues sample ``i``'s RNG stream).  With an
+        engine, sample ``i`` draws from RNG child stream ``i`` of the
+        estimator's seed and blocks of samples fan out over the engine's
+        process pool; counts merge by plain summation, so engine results are
+        identical for any worker count (but differ from the legacy stream
+        split, much like the multi-shard LER path).
+        """
         if samples <= 0:
             raise ValueError("samples must be positive")
+        if engine is not None:
+            return self._run_engine(samples, engine)
         accepted = 0
         distance_counts: Dict[int, int] = {}
         accepted_counts: Dict[int, int] = {}
@@ -114,6 +121,96 @@ class YieldEstimator:
             distance_counts=distance_counts,
             accepted_distance_counts=accepted_counts,
         )
+
+    def _run_engine(self, samples: int, engine) -> YieldResult:
+        """Fan sample blocks out over the engine's worker pool and merge."""
+        fp = seed_fingerprint(self.seed)
+        workers = max(1, engine.config.max_workers)
+        block = max(1, -(-samples // (4 * workers)))
+        jobs = []
+        start = 0
+        while start < samples:
+            stop = min(start + block, samples)
+            jobs.append((self.chiplet_size, self.defect_model, self.criterion,
+                         self.allow_rotation, self.boundary_standard,
+                         fp, start, stop))
+            start = stop
+        accepted = 0
+        distance_counts: Dict[int, int] = {}
+        accepted_counts: Dict[int, int] = {}
+        for block_accepted, block_dist, block_acc in engine.starmap(
+                _evaluate_yield_block, jobs):
+            accepted += block_accepted
+            for d, c in block_dist.items():
+                distance_counts[d] = distance_counts.get(d, 0) + c
+            for d, c in block_acc.items():
+                accepted_counts[d] = accepted_counts.get(d, 0) + c
+        return YieldResult(
+            chiplet_size=self.chiplet_size,
+            defect_rate=self.defect_model.rate,
+            defect_model_kind=self.defect_model.kind,
+            samples=samples,
+            accepted=accepted,
+            distance_counts=distance_counts,
+            accepted_distance_counts=accepted_counts,
+        )
+
+
+def _evaluate_chiplet(
+    layout: RotatedSurfaceCodeLayout,
+    defect_model: DefectModel,
+    criterion: PostSelectionCriterion,
+    allow_rotation: bool,
+    boundary_standard: Optional[BoundaryStandard],
+    rng: np.random.Generator,
+) -> tuple:
+    """Sample one chiplet and test acceptance.
+
+    Single source of truth for the acceptance logic: both the legacy
+    sequential path and the engine's worker blocks call this, so the two
+    cannot drift apart.
+    """
+    chiplet = Chiplet(layout=layout, defects=defect_model.sample(layout, rng))
+    if allow_rotation:
+        chiplet = chiplet.best_orientation(criterion)
+    metrics = chiplet.metrics
+    accepted = criterion.accepts(metrics)
+    if accepted and boundary_standard is not None:
+        accepted = boundary_standard.accepts(chiplet.patch)
+    return metrics, accepted
+
+
+def _evaluate_yield_block(
+    chiplet_size: int,
+    defect_model: DefectModel,
+    criterion: PostSelectionCriterion,
+    allow_rotation: bool,
+    boundary_standard: Optional[BoundaryStandard],
+    root_fp,
+    start: int,
+    stop: int,
+) -> tuple:
+    """Worker-side evaluation of sample indices [start, stop).
+
+    Top-level so the process pool can pickle it; sample ``i`` always draws
+    from child stream ``i`` of the root fingerprint, making block boundaries
+    and worker assignment irrelevant to the outcome.
+    """
+    layout = RotatedSurfaceCodeLayout(chiplet_size)
+    root = from_fingerprint(root_fp)
+    accepted = 0
+    distance_counts: Dict[int, int] = {}
+    accepted_counts: Dict[int, int] = {}
+    for idx in range(start, stop):
+        stream = None if root is None else child_stream(root, idx)
+        rng = np.random.default_rng(stream)
+        metrics, ok = _evaluate_chiplet(layout, defect_model, criterion,
+                                        allow_rotation, boundary_standard, rng)
+        distance_counts[metrics.distance] = distance_counts.get(metrics.distance, 0) + 1
+        if ok:
+            accepted += 1
+            accepted_counts[metrics.distance] = accepted_counts.get(metrics.distance, 0) + 1
+    return accepted, distance_counts, accepted_counts
 
 
 def defect_intolerant_yield(chiplet_size: int, defect_model: DefectModel) -> float:

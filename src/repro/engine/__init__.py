@@ -1,0 +1,65 @@
+"""Parallel Monte-Carlo execution engine.
+
+The engine is the single entry point for the repo's Monte-Carlo work:
+
+* :mod:`~repro.engine.tasks` - frozen, content-hashable task specs;
+* :mod:`~repro.engine.rng` - collision-free ``SeedSequence`` stream derivation;
+* :mod:`~repro.engine.scheduler` - adaptive shot allocation in waves;
+* :mod:`~repro.engine.cache` - content-addressed on-disk JSON result cache;
+* :mod:`~repro.engine.executor` - sharded (process-pool or serial) execution.
+
+Quick use::
+
+    from repro.engine import Engine, EngineConfig, LerPointTask
+
+    task = LerPointTask.from_patch("memory", patch, physical_error_rate=0.005)
+    engine = Engine(EngineConfig(max_workers=4, cache_dir=".repro-cache"))
+    result = engine.run_ler(task, shots=200_000, seed=7)
+
+Results are bit-identical for any ``max_workers``; reruns with a cache
+directory are near-instant.  The experiment drivers in
+:mod:`repro.experiments` route through :func:`default_engine`, which reads
+``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE`` from the
+environment, so existing scripts parallelise without code changes.
+"""
+
+from .cache import ResultCache
+from .executor import (
+    Engine,
+    EngineConfig,
+    LerResult,
+    default_engine,
+    set_default_engine,
+)
+from .rng import Seed, as_seed_sequence, child_stream, seed_fingerprint, spawn_streams
+from .scheduler import ShotPolicy, ShotScheduler
+from .tasks import (
+    ENGINE_SCHEMA_VERSION,
+    CutoffCellTask,
+    LerPointTask,
+    NoiseSpec,
+    PatchSampleTask,
+    TaskSpec,
+)
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "LerResult",
+    "default_engine",
+    "set_default_engine",
+    "ResultCache",
+    "Seed",
+    "as_seed_sequence",
+    "child_stream",
+    "seed_fingerprint",
+    "spawn_streams",
+    "ShotPolicy",
+    "ShotScheduler",
+    "ENGINE_SCHEMA_VERSION",
+    "CutoffCellTask",
+    "LerPointTask",
+    "NoiseSpec",
+    "PatchSampleTask",
+    "TaskSpec",
+]

@@ -1,0 +1,102 @@
+"""Content-addressed on-disk JSON cache for engine results.
+
+Entries are keyed by a SHA-256 hex digest computed by the executor from the
+task's content hash plus everything else that determines the numbers (seed
+fingerprint, shot policy, shard size).  Each record is a single JSON file
+under ``<root>/<key[:2]>/<key>.json`` carrying a ``schema_version``; entries
+written under a different schema version are silently treated as misses, so
+bumping :data:`repro.engine.tasks.ENGINE_SCHEMA_VERSION` (or constructing the
+cache with a different version) invalidates the whole store without deleting
+anything.
+
+Writes are atomic (temp file + ``os.replace``), so a crashed or concurrent
+run can never leave a half-written record that later parses as valid.
+Unparseable files are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .tasks import ENGINE_SCHEMA_VERSION
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of JSON result records addressed by hex-digest key."""
+
+    def __init__(self, root, schema_version: int = ENGINE_SCHEMA_VERSION):
+        self.root = Path(root)
+        self.schema_version = int(schema_version)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"cache keys must be hex digests, got {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the cached record, or None on miss/corruption/schema skew."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("schema_version") != self.schema_version:
+            return None
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist a record under the current schema version."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = dict(record)
+        body["schema_version"] = self.schema_version
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(body, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns True if it existed."""
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        """All keys currently on disk (any schema version)."""
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir():
+                for f in sorted(sub.glob("*.json")):
+                    yield f.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            if self.invalidate(key):
+                removed += 1
+        return removed

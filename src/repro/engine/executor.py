@@ -1,0 +1,510 @@
+"""Sharded Monte-Carlo executor: the single entry point for engine work.
+
+The executor takes a :class:`~repro.engine.tasks.TaskSpec`, splits the
+requested shots (or sample attempts) into shards, runs the shards serially or
+on a ``concurrent.futures.ProcessPoolExecutor``, and merges the per-shard
+statistics with the binomial pooling from :mod:`repro.analysis.stats`.
+
+Determinism contract
+--------------------
+Shard ``i`` of a task always draws its generator from RNG child stream ``i``
+of the run's root seed (:func:`repro.engine.rng.child_stream`), and merged
+statistics are plain sums, so results are **bit-identical for any
+``max_workers``** and for repeated runs with the same seed.  As a special
+case, a fixed-policy run that fits in a single shard seeds the simulator with
+the *raw* user seed - exactly what the pre-engine experiment drivers did - so
+legacy seeds keep producing legacy numbers.
+
+Workers memoise the (circuit, DEM, decoder) triple per task content hash, so
+a task's expensive setup is paid once per process, not once per shard.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stats import BinomialEstimate
+from ..core.patch import AdaptedPatch
+from ..decoder.matching import MatchingGraph, MwpmDecoder
+from ..decoder.unionfind import UnionFindDecoder
+from ..stabilizer.dem import build_detector_error_model
+from ..stabilizer.frame import FrameSimulator
+from .cache import ResultCache
+from .rng import Seed, as_seed_sequence, child_stream, from_fingerprint, seed_fingerprint
+from .scheduler import ShotPolicy, ShotScheduler
+from .tasks import LerPointTask, PatchSampleTask, canonical_json
+
+__all__ = [
+    "EngineConfig",
+    "LerResult",
+    "Engine",
+    "default_engine",
+    "set_default_engine",
+]
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution knobs (none of them may change the numbers a task produces).
+
+    Attributes
+    ----------
+    max_workers:
+        Process-pool width; ``1`` (the default) runs everything in-process.
+    shard_size:
+        Maximum shots per shard.  Runs that fit in one shard follow the
+        legacy single-stream seeding, so the default is chosen above the
+        laptop-scale shot counts used by the tests and benchmarks.
+    cache_dir:
+        Root of the on-disk result cache; ``None`` disables caching.
+    """
+
+    max_workers: int = 1
+    shard_size: int = 4096
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if self.shard_size <= 0:
+            raise ValueError("shard_size must be positive")
+
+    @classmethod
+    def from_env(cls, env=None) -> "EngineConfig":
+        """Read ``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE``."""
+        env = os.environ if env is None else env
+        workers = int(env.get("REPRO_WORKERS") or 1)
+        cache = env.get("REPRO_CACHE") or None
+        shard = int(env.get("REPRO_SHARD_SIZE") or 4096)
+        return cls(max_workers=workers, shard_size=shard, cache_dir=cache)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LerResult:
+    """Merged outcome of one LER task run through the engine."""
+
+    task: LerPointTask
+    failures: int
+    shots: int
+    num_detectors: int
+    num_dem_errors: int
+    num_shards: int
+    from_cache: bool = False
+
+    @property
+    def estimate(self) -> BinomialEstimate:
+        return BinomialEstimate(failures=self.failures, shots=self.shots)
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.failures / self.shots
+
+    def to_memory_result(self):
+        """Adapt to the legacy :class:`MemoryExperimentResult` shape."""
+        from ..experiments.memory import MemoryExperimentResult
+
+        return MemoryExperimentResult(
+            physical_error_rate=self.task.physical_error_rate,
+            rounds=self.task.rounds,
+            shots=self.shots,
+            failures=self.failures,
+            num_detectors=self.num_detectors,
+            num_dem_errors=self.num_dem_errors,
+            decoder=self.task.decoder,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution (top-level so ProcessPoolExecutor can pickle it)
+# ----------------------------------------------------------------------
+_MEMO_LIMIT = 8
+_TASK_MEMO: Dict[str, tuple] = {}
+
+
+def _context_for(task: LerPointTask) -> tuple:
+    """Build (or reuse) the circuit/DEM/decoder for a task in this process."""
+    key = task.content_hash()
+    ctx = _TASK_MEMO.get(key)
+    if ctx is None:
+        circuit = task.build_circuit()
+        dem = build_detector_error_model(circuit)
+        graph = MatchingGraph(dem)
+        if task.decoder == "mwpm":
+            decoder = MwpmDecoder(graph)
+        else:
+            decoder = UnionFindDecoder(graph)
+        ctx = (circuit, decoder, len(dem))
+        if len(_TASK_MEMO) >= _MEMO_LIMIT:
+            _TASK_MEMO.pop(next(iter(_TASK_MEMO)))
+        _TASK_MEMO[key] = ctx
+    return ctx
+
+
+def _run_ler_shard(task: LerPointTask, seed: Seed, shots: int) -> Tuple[int, int, int]:
+    """Sample + decode one shard; returns (failures, detectors, dem errors)."""
+    circuit, decoder, dem_size = _context_for(task)
+    samples = FrameSimulator(circuit, seed=seed).sample(shots)
+    decoded = decoder.decode_batch(samples.detectors)
+    failures = decoded.logical_error_count(samples.observables)
+    return int(failures), int(circuit.num_detectors), int(dem_size)
+
+
+def _run_patch_attempts(task: PatchSampleTask, root_fp, start: int, stop: int) -> list:
+    """Evaluate attempt indices [start, stop); return accepted defect sets.
+
+    ``root_fp`` is the (entropy, spawn_key) fingerprint of the root seed, or
+    ``None`` for OS entropy (in which case attempts use fresh entropy and the
+    run is not reproducible - same as the legacy behaviour with seed=None).
+    """
+    from ..core.adaptation import adapt_patch
+    from ..core.metrics import evaluate_patch
+
+    layout = task.layout()
+    model = task.defect_model()
+    root = from_fingerprint(root_fp)
+    accepted = []
+    for idx in range(start, stop):
+        stream = None if root is None else child_stream(root, idx)
+        rng = np.random.default_rng(stream)
+        defects = model.sample(layout, rng)
+        patch = adapt_patch(layout, defects)
+        if task.require_valid:
+            if not patch.valid:
+                continue
+            if evaluate_patch(patch).distance < task.min_distance:
+                continue
+        accepted.append((idx,
+                         sorted(tuple(q) for q in defects.faulty_qubits),
+                         sorted((tuple(a), tuple(b))
+                                for a, b in defects.faulty_links)))
+    return accepted
+
+
+def _ler_cache_record(task: LerPointTask, result: "LerResult") -> dict:
+    """The on-disk record for one LER result (single shape for all writers)."""
+    return {
+        "kind": task.kind,
+        "task_hash": task.content_hash(),
+        "task": task.payload(),
+        "failures": result.failures,
+        "shots": result.shots,
+        "num_detectors": result.num_detectors,
+        "num_dem_errors": result.num_dem_errors,
+        "num_shards": result.num_shards,
+    }
+
+
+# ----------------------------------------------------------------------
+# Process-pool lifecycle
+# ----------------------------------------------------------------------
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(max_workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(max_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        _POOLS[max_workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class Engine:
+    """Runs task specs: sharding, scheduling, caching, result merging."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self._cache = (ResultCache(self.config.cache_dir)
+                       if self.config.cache_dir else None)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self._cache
+
+    def _cache_key(self, task, seed: Seed, policy: ShotPolicy) -> Optional[str]:
+        """Key covering everything that determines the numbers.
+
+        ``max_workers`` is deliberately excluded (results are worker-count
+        invariant); ``shard_size`` is included because the multi-shard stream
+        split depends on it.
+        """
+        fp = seed_fingerprint(seed)
+        if fp is None:
+            return None
+        body = {
+            "task": task.content_hash(),
+            "seed": [list(fp[0]), list(fp[1])],
+            "policy": policy.payload(),
+            "shard_size": self.config.shard_size,
+        }
+        return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+    def starmap(self, fn, jobs: Sequence[tuple]) -> List:
+        """Run ``fn(*job)`` for every job, in order, serially or on the pool.
+
+        ``fn`` must be a module-level callable (picklable).  This is the
+        generic fan-out primitive other Monte-Carlo layers (e.g. the chiplet
+        yield estimator) build on; result order always matches job order.
+        """
+        if self.config.max_workers <= 1 or len(jobs) <= 1:
+            return [fn(*job) for job in jobs]
+        pool = _get_pool(self.config.max_workers)
+        futures = [pool.submit(fn, *job) for job in jobs]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # LER tasks
+    # ------------------------------------------------------------------
+    def run_ler(
+        self,
+        task: LerPointTask,
+        *,
+        shots: Optional[int] = None,
+        policy: Optional[ShotPolicy] = None,
+        seed: Seed = None,
+    ) -> LerResult:
+        """Run one LER task to completion under a shot policy.
+
+        Exactly one of ``shots`` (fixed budget) or ``policy`` must be given.
+        """
+        policy = self._resolve_policy(shots, policy)
+        key = self._cache_key(task, seed, policy) if self._cache is not None else None
+        if key is not None:
+            hit = self._load_cached_ler(task, key)
+            if hit is not None:
+                return hit
+        result = self._run_ler_live(task, policy, seed)
+        if key is not None:
+            self._cache.put(key, _ler_cache_record(task, result))
+        return result
+
+    def run_ler_many(
+        self,
+        tasks: Sequence[LerPointTask],
+        *,
+        shots: Optional[int] = None,
+        policy: Optional[ShotPolicy] = None,
+        seed: Seed = None,
+    ) -> List[LerResult]:
+        """Run a batch of LER tasks; task ``i`` uses RNG child stream ``i``.
+
+        Single-shard fixed-policy batches (the common laptop-scale sweep) are
+        fanned out across the pool at *task* granularity, so curves
+        parallelise even when each point fits in one shard.
+        """
+        policy = self._resolve_policy(shots, policy)
+        if seed is None:
+            # Unseeded batches keep the legacy fresh-entropy-per-task
+            # semantics; passing None through also keeps them out of the
+            # cache (a key minted from OS entropy could never hit again).
+            seeds: List[Seed] = [None] * len(tasks)
+        else:
+            root = as_seed_sequence(seed)
+            seeds = [child_stream(root, i) for i in range(len(tasks))]
+
+        single_shard = (not policy.is_adaptive
+                        and policy.max_shots <= self.config.shard_size)
+        if not single_shard:
+            return [self.run_ler(task, policy=policy, seed=s)
+                    for task, s in zip(tasks, seeds)]
+
+        results: List[Optional[LerResult]] = [None] * len(tasks)
+        pending: List[Tuple[int, Optional[str]]] = []
+        for i, task in enumerate(tasks):
+            key = self._cache_key(task, seeds[i], policy) if self._cache is not None else None
+            hit = self._load_cached_ler(task, key) if key is not None else None
+            if hit is not None:
+                results[i] = hit
+            else:
+                pending.append((i, key))
+
+        outs = self.starmap(
+            _run_ler_shard,
+            [(tasks[i], seeds[i], policy.max_shots) for i, _ in pending],
+        )
+        for (i, key), (failures, num_det, num_dem) in zip(pending, outs):
+            res = LerResult(task=tasks[i], failures=failures,
+                            shots=policy.max_shots, num_detectors=num_det,
+                            num_dem_errors=num_dem, num_shards=1)
+            results[i] = res
+            if key is not None:
+                self._cache.put(key, _ler_cache_record(tasks[i], res))
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _resolve_policy(self, shots: Optional[int],
+                        policy: Optional[ShotPolicy]) -> ShotPolicy:
+        if (shots is None) == (policy is None):
+            raise ValueError("specify exactly one of shots= or policy=")
+        return policy if policy is not None else ShotPolicy.fixed(shots)
+
+    def _load_cached_ler(self, task: LerPointTask, key: str) -> Optional[LerResult]:
+        record = self._cache.get(key)
+        if record is None or record.get("task_hash") != task.content_hash():
+            return None
+        try:
+            return LerResult(
+                task=task,
+                failures=int(record["failures"]),
+                shots=int(record["shots"]),
+                num_detectors=int(record["num_detectors"]),
+                num_dem_errors=int(record["num_dem_errors"]),
+                num_shards=int(record["num_shards"]),
+                from_cache=True,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _run_ler_live(self, task: LerPointTask, policy: ShotPolicy,
+                      seed: Seed) -> LerResult:
+        sched = ShotScheduler(policy, self.config.shard_size)
+        root = as_seed_sequence(seed)
+        # Legacy-compatible path: a fixed budget that fits in one shard is
+        # seeded with the raw user seed, matching the pre-engine drivers.
+        single_shard = (not policy.is_adaptive
+                        and policy.max_shots <= self.config.shard_size)
+        failures = 0
+        num_detectors = num_dem = 0
+        num_shards = 0
+        while True:
+            wave = sched.next_wave()
+            if not wave:
+                break
+            jobs = []
+            for idx, n in wave:
+                shard_seed: Seed = seed if single_shard else child_stream(root, idx)
+                jobs.append((task, shard_seed, n))
+            outs = self.starmap(_run_ler_shard, jobs)
+            wave_failures = sum(o[0] for o in outs)
+            num_detectors, num_dem = outs[0][1], outs[0][2]
+            failures += wave_failures
+            num_shards += len(wave)
+            sched.record(wave_failures, sum(n for _, n in wave))
+        return LerResult(task=task, failures=failures, shots=sched.shots_done,
+                         num_detectors=num_detectors, num_dem_errors=num_dem,
+                         num_shards=num_shards)
+
+    # ------------------------------------------------------------------
+    # Patch-sample tasks
+    # ------------------------------------------------------------------
+    def sample_patches(self, task: PatchSampleTask, *,
+                       seed: Seed = None) -> List[AdaptedPatch]:
+        """Draw defective patches; deterministic in ``max_workers`` (see tasks).
+
+        Workers return accepted *defect sets* (JSON-able coordinates); the
+        adapted patches are rebuilt in the parent so nothing heavyweight
+        crosses the process boundary or lands in the cache.
+        """
+        fp = seed_fingerprint(seed)
+        key = None
+        if self._cache is not None and fp is not None:
+            body = {"task": task.content_hash(), "seed": [list(fp[0]), list(fp[1])]}
+            key = hashlib.sha256(canonical_json(body).encode()).hexdigest()
+            record = self._cache.get(key)
+            if record is not None and record.get("task_hash") == task.content_hash():
+                try:
+                    return self._rebuild_patches(task, record["accepted"])
+                except (KeyError, TypeError, ValueError):
+                    pass
+
+        accepted = self._sample_patch_specs(task, fp)
+        if key is not None:
+            self._cache.put(key, {
+                "kind": task.kind,
+                "task_hash": task.content_hash(),
+                "task": task.payload(),
+                "accepted": [[idx, [list(q) for q in qubits],
+                              [[list(a), list(b)] for a, b in links]]
+                             for idx, qubits, links in accepted],
+            })
+        return self._rebuild_patches(task, accepted)
+
+    def _sample_patch_specs(self, task: PatchSampleTask, fp) -> list:
+        """First ``num_patches`` acceptances in attempt-index order."""
+        max_attempts = task.max_attempts
+        # Block = contiguous attempt range; sized so one wave of blocks
+        # plausibly yields the whole batch while still splitting across the
+        # pool.  Purely a throughput knob - results only depend on indices.
+        block = max(1, min(64, (task.num_patches + 1) // 2 + 1))
+        wave_blocks = max(2 * self.config.max_workers, 2)
+        accepted: list = []
+        start = 0
+        while start < max_attempts and len(accepted) < task.num_patches:
+            stops = []
+            s = start
+            for _ in range(wave_blocks):
+                if s >= max_attempts:
+                    break
+                e = min(s + block, max_attempts)
+                stops.append((s, e))
+                s = e
+            outs = self.starmap(
+                _run_patch_attempts,
+                [(task, fp, a, b) for a, b in stops],
+            )
+            for out in outs:
+                accepted.extend(out)
+            start = s
+        accepted.sort(key=lambda item: item[0])
+        return accepted[: task.num_patches]
+
+    @staticmethod
+    def _rebuild_patches(task: PatchSampleTask, accepted) -> List[AdaptedPatch]:
+        from ..core.adaptation import adapt_patch
+        from ..noise.fabrication import DefectSet
+
+        layout = task.layout()
+        patches = []
+        for _idx, qubits, links in accepted:
+            defects = DefectSet.of(qubits=[tuple(q) for q in qubits],
+                                   links=[(tuple(a), tuple(b)) for a, b in links])
+            patches.append(adapt_patch(layout, defects))
+        return patches
+
+
+# ----------------------------------------------------------------------
+# Process-wide default engine (configured from the environment)
+# ----------------------------------------------------------------------
+_DEFAULT_ENGINE: Optional[Engine] = None
+
+
+def default_engine() -> Engine:
+    """The engine used when drivers are not handed one explicitly.
+
+    Configured once per process from ``REPRO_WORKERS`` / ``REPRO_CACHE`` /
+    ``REPRO_SHARD_SIZE``; with no environment overrides it is a serial,
+    cache-less engine whose numbers match the pre-engine code paths.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine(EngineConfig.from_env())
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[Engine]) -> None:
+    """Install (or with ``None``, reset) the process-wide default engine."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine

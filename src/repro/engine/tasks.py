@@ -1,0 +1,308 @@
+"""Frozen, hashable task specifications for the execution engine.
+
+A :class:`TaskSpec` is a *complete, self-contained* description of a unit of
+Monte-Carlo work, built only from primitive values (ints, floats, strings,
+tuples).  That buys three things at once:
+
+* tasks can be pickled to worker processes without dragging circuit or
+  decoder objects across the process boundary;
+* tasks have a **stable content hash** (canonical JSON + SHA-256), which keys
+  the on-disk result cache and the per-worker circuit/decoder memo;
+* reconstruction is deterministic - ``adapt_patch`` and the circuit builders
+  are pure functions of the spec fields, so every process rebuilds exactly
+  the same computation.
+
+Three task kinds cover the repo's Monte-Carlo workloads:
+
+``LerPointTask``
+    One logical-error-rate point: a (patch, noise, rounds, decoder) cell of a
+    memory or stability experiment, sampled for some number of shots.
+``CutoffCellTask``
+    A ``LerPointTask`` subtype carrying the strategy metadata of the Sec. 6
+    cutoff-fidelity sweep (keep vs disable, bad-qubit error rate).
+``PatchSampleTask``
+    A batch of defective-chiplet draws: sample fabrication defects, adapt the
+    code, keep patches that stay valid above a minimum distance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.adaptation import adapt_patch
+from ..core.patch import AdaptedPatch
+from ..noise.circuit_noise import CircuitNoiseModel
+from ..noise.fabrication import LINK_AND_QUBIT, LINK_ONLY, DefectModel, DefectSet
+from ..surface_code.circuits import build_memory_circuit, build_stability_circuit
+from ..surface_code.layout import RotatedSurfaceCodeLayout, StabilityLayout
+
+__all__ = [
+    "ENGINE_SCHEMA_VERSION",
+    "NoiseSpec",
+    "TaskSpec",
+    "LerPointTask",
+    "CutoffCellTask",
+    "PatchSampleTask",
+    "canonical_json",
+]
+
+# Bump when the meaning of a task payload (or of the numbers it produces)
+# changes; every cached result records the version it was produced under and
+# stale entries are ignored.
+ENGINE_SCHEMA_VERSION = 1
+
+_DECODERS = ("mwpm", "unionfind")
+_LAYOUTS = ("rotated", "stability")
+_EXPERIMENTS = ("memory", "stability")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding used for content hashes and cache keys."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _coords(coords) -> Tuple[Tuple[int, int], ...]:
+    return tuple(sorted((int(x), int(y)) for x, y in coords))
+
+
+def _links(links) -> Tuple[Tuple[Tuple[int, int], Tuple[int, int]], ...]:
+    return tuple(sorted(((int(a[0]), int(a[1])), (int(b[0]), int(b[1])))
+                        for a, b in links))
+
+
+# ----------------------------------------------------------------------
+# Noise specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Primitive-field mirror of :class:`CircuitNoiseModel` (hashable/JSON-able)."""
+
+    p: float
+    single_qubit_factor: float = 0.8
+    readout_factor: float = 8.0 / 15.0
+    idle_data_factor: float = 0.8
+    reset_factor: float = 0.0
+    bad_qubits: Tuple[Tuple[Tuple[int, int], float], ...] = ()
+
+    @classmethod
+    def from_model(cls, model: CircuitNoiseModel) -> "NoiseSpec":
+        return cls(
+            p=float(model.p),
+            single_qubit_factor=float(model.single_qubit_factor),
+            readout_factor=float(model.readout_factor),
+            idle_data_factor=float(model.idle_data_factor),
+            reset_factor=float(model.reset_factor),
+            bad_qubits=tuple(sorted(((int(c[0]), int(c[1])), float(r))
+                                    for c, r in model.bad_qubits)),
+        )
+
+    def to_model(self) -> CircuitNoiseModel:
+        return CircuitNoiseModel(
+            p=self.p,
+            single_qubit_factor=self.single_qubit_factor,
+            readout_factor=self.readout_factor,
+            idle_data_factor=self.idle_data_factor,
+            reset_factor=self.reset_factor,
+            bad_qubits=self.bad_qubits,
+        )
+
+    def payload(self) -> dict:
+        return {
+            "p": self.p,
+            "single_qubit_factor": self.single_qubit_factor,
+            "readout_factor": self.readout_factor,
+            "idle_data_factor": self.idle_data_factor,
+            "reset_factor": self.reset_factor,
+            "bad_qubits": [[[c[0], c[1]], r] for c, r in self.bad_qubits],
+        }
+
+
+# ----------------------------------------------------------------------
+# Task specs
+# ----------------------------------------------------------------------
+class TaskSpec:
+    """Common content-hash machinery; subclasses implement ``payload()``."""
+
+    kind: str = "abstract"
+
+    def payload(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def content_hash(self) -> str:
+        body = {"schema": ENGINE_SCHEMA_VERSION, "kind": self.kind,
+                "spec": self.payload()}
+        return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class LerPointTask(TaskSpec):
+    """One logical-error-rate measurement cell.
+
+    The patch is described by (layout kind, size, defect set); the adaptation
+    is recomputed deterministically wherever the task runs.
+    """
+
+    experiment: str                # "memory" or "stability"
+    layout_kind: str               # "rotated" or "stability"
+    size: int
+    faulty_qubits: Tuple[Tuple[int, int], ...]
+    faulty_links: Tuple[Tuple[Tuple[int, int], Tuple[int, int]], ...]
+    physical_error_rate: float
+    rounds: int
+    noise: NoiseSpec
+    decoder: str = "mwpm"
+
+    kind = "ler_point"
+
+    def __post_init__(self) -> None:
+        if self.experiment not in _EXPERIMENTS:
+            raise ValueError(f"unknown experiment {self.experiment!r}")
+        if self.layout_kind not in _LAYOUTS:
+            raise ValueError(f"unknown layout kind {self.layout_kind!r}")
+        if self.decoder not in _DECODERS:
+            raise ValueError(f"unknown decoder {self.decoder!r}")
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_patch(
+        cls,
+        experiment: str,
+        patch: AdaptedPatch,
+        physical_error_rate: float,
+        *,
+        rounds: Optional[int] = None,
+        noise: Optional[CircuitNoiseModel] = None,
+        decoder: str = "mwpm",
+    ) -> "LerPointTask":
+        """Describe an experiment on an already-adapted patch."""
+        if noise is None:
+            noise = CircuitNoiseModel.standard(physical_error_rate)
+        if rounds is None:
+            rounds = patch.layout.size
+        layout_kind = ("stability" if isinstance(patch.layout, StabilityLayout)
+                       else "rotated")
+        return cls(
+            experiment=experiment,
+            layout_kind=layout_kind,
+            size=patch.layout.size,
+            faulty_qubits=_coords(patch.defects.faulty_qubits),
+            faulty_links=_links(patch.defects.faulty_links),
+            physical_error_rate=float(physical_error_rate),
+            rounds=int(rounds),
+            noise=NoiseSpec.from_model(noise),
+            decoder=decoder,
+        )
+
+    # ------------------------------------------------------------------
+    def layout(self) -> RotatedSurfaceCodeLayout:
+        if self.layout_kind == "stability":
+            return StabilityLayout(self.size)
+        return RotatedSurfaceCodeLayout(self.size)
+
+    def defects(self) -> DefectSet:
+        return DefectSet.of(qubits=self.faulty_qubits, links=self.faulty_links)
+
+    def patch(self) -> AdaptedPatch:
+        return adapt_patch(self.layout(), self.defects())
+
+    def build_circuit(self):
+        patch = self.patch()
+        noise = self.noise.to_model()
+        if self.experiment == "stability":
+            return build_stability_circuit(patch, noise, self.rounds)
+        return build_memory_circuit(patch, noise, self.rounds)
+
+    def payload(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "layout_kind": self.layout_kind,
+            "size": self.size,
+            "faulty_qubits": [list(c) for c in self.faulty_qubits],
+            "faulty_links": [[list(a), list(b)] for a, b in self.faulty_links],
+            "physical_error_rate": self.physical_error_rate,
+            "rounds": self.rounds,
+            "noise": self.noise.payload(),
+            "decoder": self.decoder,
+        }
+
+
+@dataclass(frozen=True)
+class CutoffCellTask(LerPointTask):
+    """One cell of the cutoff-fidelity sweep (Sec. 6 / Fig. 20).
+
+    ``strategy`` is ``"keep"`` (bad qubit left in the code, elevated noise via
+    ``noise.bad_qubits``) or ``"disable"`` (qubit excised, super-stabilizers
+    formed).  The fields are part of the content hash so keep/disable cells
+    never alias in the cache even when their circuits coincide.
+    """
+
+    strategy: str = "disable"
+    bad_qubit_error_rate: Optional[float] = None
+
+    kind = "cutoff_cell"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.strategy not in ("keep", "disable"):
+            raise ValueError(f"unknown cutoff strategy {self.strategy!r}")
+
+    def payload(self) -> dict:
+        out = super().payload()
+        out["strategy"] = self.strategy
+        out["bad_qubit_error_rate"] = self.bad_qubit_error_rate
+        return out
+
+
+@dataclass(frozen=True)
+class PatchSampleTask(TaskSpec):
+    """A batch of defective-chiplet draws with validity post-selection.
+
+    Attempt ``i`` of the batch always consumes RNG child stream ``i`` of the
+    run's root seed, so the accepted set is identical no matter how attempts
+    are sharded across workers: the engine keeps the first ``num_patches``
+    acceptances in attempt-index order.
+    """
+
+    size: int
+    defect_model_kind: str
+    defect_rate: float
+    num_patches: int
+    min_distance: int = 2
+    require_valid: bool = True
+    max_attempts_factor: int = 100
+
+    kind = "patch_sample"
+
+    def __post_init__(self) -> None:
+        if self.defect_model_kind not in (LINK_ONLY, LINK_AND_QUBIT):
+            raise ValueError(f"unknown defect model {self.defect_model_kind!r}")
+        if self.num_patches <= 0:
+            raise ValueError("num_patches must be positive")
+        if self.max_attempts_factor <= 0:
+            raise ValueError("max_attempts_factor must be positive")
+
+    def layout(self) -> RotatedSurfaceCodeLayout:
+        return RotatedSurfaceCodeLayout(self.size)
+
+    def defect_model(self) -> DefectModel:
+        return DefectModel(self.defect_model_kind, self.defect_rate)
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_attempts_factor * self.num_patches
+
+    def payload(self) -> dict:
+        return {
+            "size": self.size,
+            "defect_model_kind": self.defect_model_kind,
+            "defect_rate": self.defect_rate,
+            "num_patches": self.num_patches,
+            "min_distance": self.min_distance,
+            "require_valid": self.require_valid,
+            "max_attempts_factor": self.max_attempts_factor,
+        }

@@ -10,16 +10,17 @@ as a function of the error rate of the good qubits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from ..core.adaptation import adapt_patch
+from ..engine.executor import Engine, default_engine
+from ..engine.rng import Seed
+from ..engine.tasks import CutoffCellTask
 from ..noise.circuit_noise import CircuitNoiseModel
 from ..noise.fabrication import DefectSet
 from ..surface_code.layout import Coord, StabilityLayout
-from .memory import MemoryExperimentResult, run_stability_experiment
+from .memory import MemoryExperimentResult
 
 __all__ = ["CutoffPoint", "CutoffStudy", "run_cutoff_study", "center_data_qubit"]
 
@@ -83,35 +84,53 @@ def run_cutoff_study(
     physical_error_rates: Sequence[float] = (0.002, 0.004, 0.006, 0.008),
     bad_qubit_error_rates: Sequence[float] = (0.05, 0.08, 0.10, 0.15),
     shots: int = 2000,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     bad_qubit: Optional[Coord] = None,
+    engine: Optional[Engine] = None,
 ) -> CutoffStudy:
     """Reproduce the Fig. 20 comparison on the stability patch.
 
     The "keep" curves run the stability experiment with one elevated-error
     data qubit; the "disable" curve removes that qubit and forms
     super-stabilizers around it (via the standard adaptation path).
+
+    Every (strategy, bad rate, p) cell becomes one :class:`CutoffCellTask`;
+    the whole sweep is handed to the engine as a batch, so cells run in
+    parallel (and hit the result cache) independently.  Cell ``i`` draws from
+    RNG child stream ``i`` of ``seed``, in the deterministic order the cells
+    are constructed below.
     """
-    layout = StabilityLayout(size)
     bad = bad_qubit or center_data_qubit(size)
-    rng = np.random.default_rng(seed)
-    points: List[CutoffPoint] = []
+    layout = StabilityLayout(size)
 
     disabled_patch = adapt_patch(layout, DefectSet.of(qubits=[bad]))
     intact_patch = adapt_patch(layout, DefectSet.of())
 
+    tasks: List[CutoffCellTask] = []
+    labels: List[tuple] = []
     for p in physical_error_rates:
-        noise = CircuitNoiseModel.standard(p)
-        result = run_stability_experiment(
-            disabled_patch, p, shots, rounds,
-            noise=noise, seed=int(rng.integers(0, 2**31 - 1)),
+        # from_patch is inherited, so it constructs CutoffCellTask cells
+        # directly; replace() stamps the strategy metadata on the frozen task.
+        cell = CutoffCellTask.from_patch(
+            "stability", disabled_patch, p, rounds=rounds,
+            noise=CircuitNoiseModel.standard(p),
         )
-        points.append(CutoffPoint("disable", None, p, result))
+        tasks.append(replace(cell, strategy="disable"))
+        labels.append(("disable", None, p))
         for bad_rate in bad_qubit_error_rates:
             noisy = CircuitNoiseModel.standard(p).with_bad_qubit(bad, bad_rate)
-            result = run_stability_experiment(
-                intact_patch, p, shots, rounds,
-                noise=noisy, seed=int(rng.integers(0, 2**31 - 1)),
+            cell = CutoffCellTask.from_patch(
+                "stability", intact_patch, p, rounds=rounds, noise=noisy,
             )
-            points.append(CutoffPoint("keep", bad_rate, p, result))
+            tasks.append(replace(cell, strategy="keep",
+                                 bad_qubit_error_rate=float(bad_rate)))
+            labels.append(("keep", bad_rate, p))
+
+    eng = engine if engine is not None else default_engine()
+    results = eng.run_ler_many(tasks, shots=shots, seed=seed)
+
+    points = [
+        CutoffPoint(strategy, bad_rate, p, result.to_memory_result())
+        for (strategy, bad_rate, p), result in zip(labels, results)
+    ]
     return CutoffStudy(size=size, rounds=rounds, points=points)

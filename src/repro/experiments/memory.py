@@ -12,16 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
 from ..analysis.stats import BinomialEstimate
 from ..core.patch import AdaptedPatch
-from ..decoder.matching import MatchingGraph, MwpmDecoder
-from ..decoder.unionfind import UnionFindDecoder
+from ..engine.executor import Engine, default_engine
+from ..engine.rng import Seed
+from ..engine.scheduler import ShotPolicy
+from ..engine.tasks import LerPointTask
 from ..noise.circuit_noise import CircuitNoiseModel
-from ..stabilizer.dem import build_detector_error_model
-from ..stabilizer.frame import FrameSimulator
-from ..surface_code.circuits import build_memory_circuit, build_stability_circuit
 
 __all__ = ["MemoryExperimentResult", "run_memory_experiment", "run_stability_experiment"]
 
@@ -54,32 +51,25 @@ class MemoryExperimentResult:
         return 1.0 - (1.0 - total) ** (1.0 / max(self.rounds, 1))
 
 
-def _decode_and_count(circuit, shots: int, seed: Optional[int], decoder: str) -> tuple:
-    dem = build_detector_error_model(circuit)
-    graph = MatchingGraph(dem)
-    if decoder == "mwpm":
-        dec = MwpmDecoder(graph)
-    elif decoder == "unionfind":
-        dec = UnionFindDecoder(graph)
-    else:
-        raise ValueError(f"unknown decoder {decoder!r}")
-    samples = FrameSimulator(circuit, seed=seed).sample(shots)
-    result = dec.decode_batch(samples.detectors)
-    failures = result.logical_error_count(samples.observables)
-    return failures, dem
-
-
 def run_memory_experiment(
     patch: AdaptedPatch,
     physical_error_rate: float,
-    shots: int,
+    shots: Optional[int] = None,
     *,
     rounds: Optional[int] = None,
     noise: Optional[CircuitNoiseModel] = None,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     decoder: str = "mwpm",
+    engine: Optional[Engine] = None,
+    policy: Optional[ShotPolicy] = None,
 ) -> MemoryExperimentResult:
     """Measure the logical-Z memory error rate of an adapted patch.
+
+    Runs through the execution engine: with the default (serial, single
+    shard) configuration the numbers are identical to the historical direct
+    simulation for the same seed; ``REPRO_WORKERS``/``REPRO_CACHE`` (or an
+    explicit ``engine``) enable sharded parallel execution and result
+    caching without changing them.
 
     Parameters
     ----------
@@ -89,72 +79,74 @@ def run_memory_experiment(
         Two-qubit gate error rate ``p`` of the circuit-level noise model
         (ignored if an explicit ``noise`` model is supplied).
     shots:
-        Number of Monte-Carlo samples.
+        Number of Monte-Carlo samples (fixed budget).
     rounds:
         Number of syndrome-extraction rounds; defaults to the patch width.
     decoder:
         ``"mwpm"`` (exact matching, default) or ``"unionfind"``.
+    engine:
+        Engine to run on; defaults to the process-wide default engine.
+    policy:
+        Adaptive :class:`ShotPolicy` overriding the fixed ``shots`` budget
+        (early stop on a target failure count or CI width).
     """
-    if noise is None:
-        noise = CircuitNoiseModel.standard(physical_error_rate)
-    if rounds is None:
-        rounds = patch.layout.size
-    circuit = build_memory_circuit(patch, noise, rounds)
-    failures, dem = _decode_and_count(circuit, shots, seed, decoder)
-    return MemoryExperimentResult(
-        physical_error_rate=physical_error_rate,
-        rounds=rounds,
-        shots=shots,
-        failures=failures,
-        num_detectors=circuit.num_detectors,
-        num_dem_errors=len(dem),
-        decoder=decoder,
+    task = LerPointTask.from_patch(
+        "memory", patch, physical_error_rate,
+        rounds=rounds, noise=noise, decoder=decoder,
     )
+    eng = engine if engine is not None else default_engine()
+    result = eng.run_ler(task, shots=None if policy else shots,
+                         policy=policy, seed=seed)
+    return result.to_memory_result()
 
 
 def run_stability_experiment(
     patch: AdaptedPatch,
     physical_error_rate: float,
-    shots: int,
+    shots: Optional[int],
     rounds: int,
     *,
     noise: Optional[CircuitNoiseModel] = None,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     decoder: str = "mwpm",
+    engine: Optional[Engine] = None,
+    policy: Optional[ShotPolicy] = None,
 ) -> MemoryExperimentResult:
     """Measure the stability-experiment failure rate (Sec. 6 of the paper)."""
-    if noise is None:
-        noise = CircuitNoiseModel.standard(physical_error_rate)
-    circuit = build_stability_circuit(patch, noise, rounds)
-    failures, dem = _decode_and_count(circuit, shots, seed, decoder)
-    return MemoryExperimentResult(
-        physical_error_rate=physical_error_rate,
-        rounds=rounds,
-        shots=shots,
-        failures=failures,
-        num_detectors=circuit.num_detectors,
-        num_dem_errors=len(dem),
-        decoder=decoder,
+    task = LerPointTask.from_patch(
+        "stability", patch, physical_error_rate,
+        rounds=rounds, noise=noise, decoder=decoder,
     )
+    eng = engine if engine is not None else default_engine()
+    result = eng.run_ler(task, shots=None if policy else shots,
+                         policy=policy, seed=seed)
+    return result.to_memory_result()
 
 
 def logical_error_rate_curve(
     patch: AdaptedPatch,
     physical_error_rates: Sequence[float],
-    shots: int,
+    shots: Optional[int] = None,
     *,
     rounds: Optional[int] = None,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     decoder: str = "mwpm",
+    engine: Optional[Engine] = None,
+    policy: Optional[ShotPolicy] = None,
 ) -> list[MemoryExperimentResult]:
-    """Sweep ``p`` and return one result per value (the Fig. 6 style curve)."""
-    rng = np.random.default_rng(seed)
-    out = []
-    for p in physical_error_rates:
-        out.append(
-            run_memory_experiment(
-                patch, p, shots, rounds=rounds,
-                seed=int(rng.integers(0, 2**31 - 1)), decoder=decoder,
-            )
-        )
-    return out
+    """Sweep ``p`` and return one result per value (the Fig. 6 style curve).
+
+    Point ``i`` draws from RNG child stream ``i`` of ``seed``
+    (``SeedSequence`` spawning), so each point is independent of how many
+    points the sweep contains and of the executing worker; the engine fans
+    the points out across its process pool.
+    """
+    tasks = [
+        LerPointTask.from_patch("memory", patch, p, rounds=rounds,
+                                decoder=decoder)
+        for p in physical_error_rates
+    ]
+    eng = engine if engine is not None else default_engine()
+    results = eng.run_ler_many(tasks, shots=None if policy else shots,
+                               policy=policy, seed=seed)
+    return [r.to_memory_result() for r in results]

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.executor import Engine, default_engine
+from ..engine.rng import Seed, child_stream, spawn_streams
 from ..chiplet.application import (
     ResourceEstimate,
     ShorWorkload,
@@ -76,6 +78,22 @@ __all__ = [
 ]
 
 
+def _pool_engine(engine: Optional[Engine]) -> Optional[Engine]:
+    """Engine to hand to the yield Monte-Carlo paths.
+
+    An explicitly passed engine always wins.  Otherwise the env-configured
+    default engine is used only when it actually brings a worker pool:
+    the serial yield path keeps its legacy sequential RNG stream (seed
+    compatibility), whereas the engine path re-keys sample ``i`` to RNG
+    child stream ``i`` — deterministic for any worker count, but a
+    different stream split than the legacy loop.
+    """
+    if engine is not None:
+        return engine
+    default = default_engine()
+    return default if default.config.max_workers > 1 else None
+
+
 # ----------------------------------------------------------------------
 # Figures 5-11: slope vs indicators
 # ----------------------------------------------------------------------
@@ -86,7 +104,8 @@ def figure5_to_10_study(
     num_patches: int = 8,
     physical_error_rates: Sequence[float] = (0.004, 0.006, 0.008),
     shots: int = 3000,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> SlopeStudy:
     """Sample defective chiplets, measure their slopes, collect indicators.
 
@@ -95,13 +114,17 @@ def figure5_to_10_study(
     observable with thousands (rather than billions) of shots.
     """
     model = DefectModel(LINK_AND_QUBIT, defect_rate)
-    patches = sample_defective_patches(size, model, num_patches, seed=seed,
-                                       min_distance=3)
+    # Independent SeedSequence streams for the sampling stage and for each
+    # patch's slope measurement: collision-free and call-order independent.
+    sample_stream, slope_root = spawn_streams(seed, 2) if seed is not None else (None, None)
+    patches = sample_defective_patches(size, model, num_patches,
+                                       seed=sample_stream, min_distance=3,
+                                       engine=engine)
     study = SlopeStudy()
-    rng = np.random.default_rng(seed)
-    for patch in patches:
+    for i, patch in enumerate(patches):
+        stream = None if slope_root is None else child_stream(slope_root, i)
         record = estimate_slope(patch, physical_error_rates, shots,
-                                seed=int(rng.integers(0, 2**31 - 1)))
+                                seed=stream, engine=engine)
         study.add(record)
     return study
 
@@ -114,25 +137,30 @@ def figure6_curves(
     defect_rate: float = 0.02,
     physical_error_rates: Sequence[float] = (0.003, 0.005, 0.008),
     shots: int = 3000,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """LER-vs-p curves for defect-free and defective patches (Fig. 6 shape)."""
     curves: Dict[str, List[Tuple[float, float]]] = {}
-    rng = np.random.default_rng(seed)
-    for d in defect_free_sizes:
+    # One child stream per curve plus one for the defect sampling stage.
+    n_streams = len(defect_free_sizes) + 1 + num_defective
+    streams = spawn_streams(seed, n_streams) if seed is not None else [None] * n_streams
+    for i, d in enumerate(defect_free_sizes):
         patch = adapt_patch(RotatedSurfaceCodeLayout(d), DefectSet.of())
         results = logical_error_rate_curve(patch, physical_error_rates, shots,
-                                           seed=int(rng.integers(0, 2**31 - 1)))
+                                           seed=streams[i], engine=engine)
         curves[f"defect-free d={d}"] = [
             (r.physical_error_rate, r.logical_error_rate) for r in results
         ]
     model = DefectModel(LINK_AND_QUBIT, defect_rate)
     defective = sample_defective_patches(defective_size, model, num_defective,
-                                         seed=seed, min_distance=3)
+                                         seed=streams[len(defect_free_sizes)],
+                                         min_distance=3, engine=engine)
     for i, patch in enumerate(defective):
         metrics = evaluate_patch(patch)
-        results = logical_error_rate_curve(patch, physical_error_rates, shots,
-                                           seed=int(rng.integers(0, 2**31 - 1)))
+        results = logical_error_rate_curve(
+            patch, physical_error_rates, shots,
+            seed=streams[len(defect_free_sizes) + 1 + i], engine=engine)
         curves[f"defective l={defective_size} d={metrics.distance} #{i}"] = [
             (r.physical_error_rate, r.logical_error_rate) for r in results
         ]
@@ -179,7 +207,8 @@ def _yield_and_cost(
     defect_rates: Sequence[float],
     samples: int,
     allow_rotation: bool,
-    seed: Optional[int],
+    seed: Seed,
+    engine: Optional[Engine] = None,
 ) -> List[OverheadPoint]:
     study = OverheadStudy(
         target_distance=target_distance,
@@ -189,6 +218,7 @@ def _yield_and_cost(
         samples=samples,
         allow_rotation=allow_rotation,
         seed=seed,
+        engine=_pool_engine(engine),
     )
     return study.run()
 
@@ -199,7 +229,8 @@ def figure12_yield(
     chiplet_sizes: Sequence[int] = (9, 11, 13),
     defect_rates: Sequence[float] = (0.0, 0.002, 0.005, 0.01, 0.02),
     samples: int = 100,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, List[OverheadPoint]]:
     """Fig. 12: defective links only; yield (a) and scaled cost (b).
 
@@ -207,7 +238,7 @@ def figure12_yield(
     defect-intolerant baseline (an l = d chiplet tolerates no defect).
     """
     points = _yield_and_cost(LINK_ONLY, target_distance, chiplet_sizes,
-                             defect_rates, samples, False, seed)
+                             defect_rates, samples, False, seed, engine)
     baseline = [
         OverheadPoint(
             chiplet_size=target_distance, defect_rate=rate,
@@ -229,11 +260,12 @@ def figure13_yield(
     chiplet_sizes: Sequence[int] = (9, 11, 13),
     defect_rates: Sequence[float] = (0.0, 0.002, 0.005, 0.01),
     samples: int = 100,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, List[OverheadPoint]]:
     """Fig. 13: links and qubits faulty at the same rate."""
     points = _yield_and_cost(LINK_AND_QUBIT, target_distance, chiplet_sizes,
-                             defect_rates, samples, False, seed)
+                             defect_rates, samples, False, seed, engine)
     baseline = [
         OverheadPoint(
             chiplet_size=target_distance, defect_rate=rate,
@@ -255,11 +287,12 @@ def figure17_yield(
     chiplet_sizes: Sequence[int] = (13, 15, 17),
     defect_rates: Sequence[float] = (0.0, 0.002, 0.005, 0.01),
     samples: int = 60,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, List[OverheadPoint]]:
     """Fig. 17: the same study for a larger target distance (paper: d=17, l up to 27)."""
     points = _yield_and_cost(LINK_ONLY, target_distance, chiplet_sizes,
-                             defect_rates, samples, False, seed)
+                             defect_rates, samples, False, seed, engine)
     return {"super-stabilizer": points}
 
 
@@ -290,7 +323,8 @@ def figure15_boundary(
     target_distance: int = 9,
     defect_rates: Sequence[float] = (0.002, 0.005, 0.01),
     samples: int = 100,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Fig. 15: yield under the four boundary standards (plus no requirement)."""
     standards = {
@@ -302,14 +336,20 @@ def figure15_boundary(
     }
     criterion = DistanceCriterion(target_distance)
     out: Dict[str, List[Tuple[float, float]]] = {name: [] for name in standards}
-    for rate in defect_rates:
+    for i, rate in enumerate(defect_rates):
         model = DefectModel(LINK_AND_QUBIT, rate)
+        # Common random numbers: every standard judges the *same* sampled
+        # chiplets at a given rate, so stricter standards have exactly lower
+        # yield (a standard's accepted set is a subset of "no requirement").
+        # The old ``seed + hash(name) % 1000`` both unpaired the comparison
+        # and depended on string-hash randomisation between processes.
+        cell = None if seed is None else child_stream(seed, i)
         for name, standard in standards.items():
             estimator = YieldEstimator(
                 chiplet_size, model, criterion, boundary_standard=standard,
-                seed=None if seed is None else seed + hash(name) % 1000,
+                seed=cell,
             )
-            result = estimator.run(samples)
+            result = estimator.run(samples, engine=_pool_engine(engine))
             out[name].append((rate, result.yield_fraction))
     return out
 
@@ -320,7 +360,8 @@ def figure16_rotation(
     target_distance: int = 9,
     defect_rates: Sequence[float] = (0.002, 0.005, 0.01),
     samples: int = 100,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Fig. 16: yield with and without the data/syndrome swap freedom."""
     criterion = DistanceCriterion(target_distance)
@@ -334,7 +375,9 @@ def figure16_rotation(
                 estimator = YieldEstimator(size, model, criterion,
                                            allow_rotation=allow_rotation,
                                            seed=seed)
-                series.append((rate, estimator.run(samples).yield_fraction))
+                series.append((rate,
+                               estimator.run(samples,
+                                             engine=_pool_engine(engine)).yield_fraction))
             out[label] = series
     return out
 
@@ -350,7 +393,8 @@ def figure18_envelope(
     defect_model_kind: str = LINK_ONLY,
     allow_rotation: bool = False,
     samples: int = 80,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[int, Dict[float, OverheadPoint]]:
     """Fig. 18: minimum extra overhead vs defect rate, per target distance."""
     out: Dict[int, Dict[float, OverheadPoint]] = {}
@@ -359,7 +403,7 @@ def figure18_envelope(
             target, tuple(target + 2 * k for k in range(0, 3))
         )
         points = _yield_and_cost(defect_model_kind, target, sizes, defect_rates,
-                                 samples, allow_rotation, seed)
+                                 samples, allow_rotation, seed, engine)
         out[target] = OverheadStudy.envelope(points)
     return out
 
@@ -371,7 +415,8 @@ def figure19_distance_distribution(
     defect_model_kind: str = LINK_AND_QUBIT,
     target_distance: int = 9,
     samples: int = 200,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[int, float]:
     """Fig. 19: the code-distance distribution of sampled chiplets.
 
@@ -381,7 +426,7 @@ def figure19_distance_distribution(
     model = DefectModel(defect_model_kind, defect_rate)
     estimator = YieldEstimator(chiplet_size, model,
                                DistanceCriterion(target_distance), seed=seed)
-    result = estimator.run(samples)
+    result = estimator.run(samples, engine=_pool_engine(engine))
     return result.distance_distribution()
 
 
@@ -399,7 +444,8 @@ def table1_and_2_resources(
     chiplet_size: Optional[int] = None,
     workload: ShorWorkload = ShorWorkload(),
     samples: int = 50,
-    seed: Optional[int] = None,
+    seed: Seed = None,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, ResourceEstimate]:
     """Tables 1-2: resource estimates for the Shor-2048 device.
 
@@ -414,7 +460,8 @@ def table1_and_2_resources(
         "no-defect": estimate_no_defect_resources(workload),
         "defect-intolerant": estimate_defect_intolerant_resources(model, workload),
         "super-stabilizer": estimate_super_stabilizer_resources(
-            model, chiplet_size, workload=workload, samples=samples, seed=seed),
+            model, chiplet_size, workload=workload, samples=samples, seed=seed,
+            engine=_pool_engine(engine)),
     }
 
 

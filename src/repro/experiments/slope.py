@@ -18,11 +18,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..analysis.fitting import SlopeFit, fit_loglog_slope
-from ..core.adaptation import adapt_patch
 from ..core.metrics import PatchMetrics, evaluate_patch
 from ..core.patch import AdaptedPatch
+from ..engine.executor import Engine, default_engine
+from ..engine.rng import Seed
+from ..engine.tasks import PatchSampleTask
 from ..noise.fabrication import DefectModel
-from ..surface_code.layout import RotatedSurfaceCodeLayout
 from .memory import logical_error_rate_curve
 
 __all__ = ["PatchSlopeRecord", "SlopeStudy", "sample_defective_patches", "estimate_slope"]
@@ -72,32 +73,30 @@ def sample_defective_patches(
     defect_model: DefectModel,
     num_patches: int,
     *,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     require_valid: bool = True,
     min_distance: int = 2,
+    engine: Optional[Engine] = None,
 ) -> List[AdaptedPatch]:
     """Draw random defective chiplets and adapt a surface code to each.
 
     Patches that fail to adapt (or whose distance collapses below
     ``min_distance``) are resampled, mirroring the paper's practice of
-    studying chiplets that still support a code.
+    studying chiplets that still support a code.  Sampling runs through the
+    execution engine as a :class:`PatchSampleTask`: attempt ``i`` always uses
+    RNG child stream ``i`` of ``seed``, so the returned patches are identical
+    for any worker count.
     """
-    layout = RotatedSurfaceCodeLayout(size)
-    rng = np.random.default_rng(seed)
-    out: List[AdaptedPatch] = []
-    attempts = 0
-    while len(out) < num_patches and attempts < 100 * num_patches:
-        attempts += 1
-        defects = defect_model.sample(layout, rng)
-        patch = adapt_patch(layout, defects)
-        if require_valid:
-            if not patch.valid:
-                continue
-            metrics = evaluate_patch(patch)
-            if metrics.distance < min_distance:
-                continue
-        out.append(patch)
-    return out
+    task = PatchSampleTask(
+        size=size,
+        defect_model_kind=defect_model.kind,
+        defect_rate=defect_model.rate,
+        num_patches=num_patches,
+        min_distance=min_distance,
+        require_valid=require_valid,
+    )
+    eng = engine if engine is not None else default_engine()
+    return eng.sample_patches(task, seed=seed)
 
 
 def estimate_slope(
@@ -106,13 +105,15 @@ def estimate_slope(
     shots: int,
     *,
     rounds: Optional[int] = None,
-    seed: Optional[int] = None,
+    seed: Seed = None,
     decoder: str = "mwpm",
+    engine: Optional[Engine] = None,
 ) -> PatchSlopeRecord:
     """Measure LER over a p-window, fit the log-log slope, collect indicators."""
     metrics = evaluate_patch(patch)
     results = logical_error_rate_curve(
-        patch, physical_error_rates, shots, rounds=rounds, seed=seed, decoder=decoder
+        patch, physical_error_rates, shots, rounds=rounds, seed=seed,
+        decoder=decoder, engine=engine,
     )
     lers = tuple(r.logical_error_rate for r in results)
     slope: Optional[float] = None

@@ -1,0 +1,349 @@
+"""Tests for the parallel Monte-Carlo execution engine (repro.engine).
+
+Covers the engine's three load-bearing guarantees:
+
+* determinism — bit-identical failure counts for ``max_workers`` 1 and 4,
+  and single-shard runs identical to the legacy direct simulation;
+* caching — hit/miss behaviour, schema-bump invalidation, corruption safety;
+* adaptive scheduling — early stop on target failures / CI width, with the
+  guaranteed minimum number of shots always honoured.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import BinomialEstimate
+from repro.core import adapt_patch
+from repro.decoder.matching import MatchingGraph, MwpmDecoder
+from repro.engine import (
+    CutoffCellTask,
+    Engine,
+    EngineConfig,
+    LerPointTask,
+    PatchSampleTask,
+    ResultCache,
+    ShotPolicy,
+    ShotScheduler,
+    child_stream,
+    seed_fingerprint,
+    spawn_streams,
+)
+from repro.engine.rng import from_fingerprint
+from repro.experiments import run_memory_experiment, sample_defective_patches
+from repro.noise import DefectModel, DefectSet, LINK_AND_QUBIT
+from repro.noise.circuit_noise import CircuitNoiseModel
+from repro.stabilizer.dem import build_detector_error_model
+from repro.stabilizer.frame import FrameSimulator
+from repro.surface_code import RotatedSurfaceCodeLayout, build_memory_circuit
+from repro.surface_code.layout import StabilityLayout
+
+
+def d3_task(p: float = 0.01, decoder: str = "mwpm") -> LerPointTask:
+    patch = adapt_patch(RotatedSurfaceCodeLayout(3), DefectSet.of())
+    return LerPointTask.from_patch("memory", patch, p, decoder=decoder)
+
+
+# ----------------------------------------------------------------------
+# RNG streams
+# ----------------------------------------------------------------------
+class TestRngStreams:
+    def test_child_stream_is_random_access_spawn(self):
+        root = np.random.SeedSequence(42)
+        spawned = np.random.SeedSequence(42).spawn(5)
+        for i in (0, 2, 4):
+            a = child_stream(root, i).generate_state(4)
+            assert np.array_equal(a, spawned[i].generate_state(4))
+
+    def test_spawn_streams_matches_child_stream(self):
+        streams = spawn_streams(7, 3)
+        for i, s in enumerate(streams):
+            assert np.array_equal(s.generate_state(2),
+                                  child_stream(7, i).generate_state(2))
+
+    def test_streams_are_order_independent(self):
+        late = child_stream(3, 17).generate_state(4)
+        again = child_stream(3, 17).generate_state(4)
+        assert np.array_equal(late, again)
+
+    def test_fingerprint_roundtrip(self):
+        seq = child_stream(123, 4)
+        fp = seed_fingerprint(seq)
+        rebuilt = from_fingerprint(fp)
+        assert np.array_equal(seq.generate_state(4), rebuilt.generate_state(4))
+
+    def test_unseeded_fingerprint_is_none(self):
+        assert seed_fingerprint(None) is None
+        assert from_fingerprint(None) is None
+
+
+# ----------------------------------------------------------------------
+# Task specs
+# ----------------------------------------------------------------------
+class TestTaskSpecs:
+    def test_content_hash_is_stable_and_sensitive(self):
+        a, b = d3_task(0.01), d3_task(0.01)
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() != d3_task(0.02).content_hash()
+        assert a.content_hash() != d3_task(0.01, decoder="unionfind").content_hash()
+
+    def test_task_rebuilds_equivalent_patch(self):
+        layout = RotatedSurfaceCodeLayout(5)
+        patch = adapt_patch(layout, DefectSet.of(qubits=[(5, 5)]))
+        task = LerPointTask.from_patch("memory", patch, 0.01)
+        rebuilt = task.patch()
+        assert rebuilt.disabled_data == patch.disabled_data
+        assert rebuilt.stabilizers == patch.stabilizers
+
+    def test_unknown_decoder_rejected_eagerly(self):
+        patch = adapt_patch(RotatedSurfaceCodeLayout(3), DefectSet.of())
+        with pytest.raises(ValueError):
+            LerPointTask.from_patch("memory", patch, 0.01, decoder="magic")
+
+    def test_cutoff_cell_hash_differs_by_strategy(self):
+        patch = adapt_patch(StabilityLayout(4), DefectSet.of())
+        base = LerPointTask.from_patch("stability", patch, 0.005, rounds=3)
+        fields = dict(
+            experiment=base.experiment, layout_kind=base.layout_kind,
+            size=base.size, faulty_qubits=base.faulty_qubits,
+            faulty_links=base.faulty_links,
+            physical_error_rate=base.physical_error_rate,
+            rounds=base.rounds, noise=base.noise, decoder=base.decoder,
+        )
+        keep = CutoffCellTask(strategy="keep", bad_qubit_error_rate=0.1, **fields)
+        disable = CutoffCellTask(strategy="disable", **fields)
+        assert keep.content_hash() != disable.content_hash()
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_single_shard_matches_legacy_simulation(self):
+        """Default engine path == the historical direct FrameSimulator path."""
+        patch = adapt_patch(RotatedSurfaceCodeLayout(3), DefectSet.of())
+        circuit = build_memory_circuit(patch, CircuitNoiseModel.standard(0.01), 3)
+        dem = build_detector_error_model(circuit)
+        decoder = MwpmDecoder(MatchingGraph(dem))
+        samples = FrameSimulator(circuit, seed=9).sample(400)
+        legacy = decoder.decode_batch(samples.detectors).logical_error_count(
+            samples.observables)
+
+        result = run_memory_experiment(patch, 0.01, shots=400, seed=9)
+        assert result.failures == legacy
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_sharded_runs_are_worker_count_invariant(self, workers):
+        engine = Engine(EngineConfig(max_workers=workers, shard_size=64))
+        result = engine.run_ler(d3_task(), shots=512, seed=7)
+        assert result.num_shards == 8
+        # Reference values from a serial run; the parametrised parallel run
+        # must reproduce them bit for bit.
+        serial = Engine(EngineConfig(max_workers=1, shard_size=64)).run_ler(
+            d3_task(), shots=512, seed=7)
+        assert result.failures == serial.failures
+        assert result.shots == serial.shots
+
+    def test_run_ler_many_parallel_matches_serial(self):
+        tasks = [d3_task(p) for p in (0.005, 0.01, 0.02)]
+        serial = Engine(EngineConfig(max_workers=1)).run_ler_many(
+            tasks, shots=300, seed=5)
+        parallel = Engine(EngineConfig(max_workers=4)).run_ler_many(
+            tasks, shots=300, seed=5)
+        assert [r.failures for r in serial] == [r.failures for r in parallel]
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_patch_sampling_is_worker_count_invariant(self, workers):
+        model = DefectModel(LINK_AND_QUBIT, 0.03)
+        engine = Engine(EngineConfig(max_workers=workers))
+        patches = sample_defective_patches(5, model, 3, seed=11,
+                                           min_distance=3, engine=engine)
+        assert len(patches) == 3
+        reference = sample_defective_patches(
+            5, model, 3, seed=11, min_distance=3,
+            engine=Engine(EngineConfig(max_workers=1)))
+        assert [p.defects for p in patches] == [p.defects for p in reference]
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_hit_returns_identical_numbers(self, tmp_path):
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        first = engine.run_ler(d3_task(), shots=300, seed=3)
+        second = engine.run_ler(d3_task(), shots=300, seed=3)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.failures == first.failures
+        assert second.shots == first.shots
+
+    def test_different_seed_or_shots_misses(self, tmp_path):
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        engine.run_ler(d3_task(), shots=300, seed=3)
+        assert not engine.run_ler(d3_task(), shots=300, seed=4).from_cache
+        assert not engine.run_ler(d3_task(), shots=400, seed=3).from_cache
+
+    def test_unseeded_runs_are_never_cached(self, tmp_path):
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        engine.run_ler(d3_task(), shots=200, seed=None)
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_schema_bump_invalidates(self, tmp_path):
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        engine.run_ler(d3_task(), shots=300, seed=3)
+        cache = ResultCache(tmp_path)
+        keys = list(cache.keys())
+        assert len(keys) == 1
+        # Same files read under a bumped schema version: all misses.
+        bumped = ResultCache(tmp_path, schema_version=cache.schema_version + 1)
+        assert bumped.get(keys[0]) is None
+        assert cache.get(keys[0]) is not None
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        engine.run_ler(d3_task(), shots=300, seed=3)
+        cache = ResultCache(tmp_path)
+        key = next(iter(cache.keys()))
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        rerun = engine.run_ler(d3_task(), shots=300, seed=3)
+        assert not rerun.from_cache  # recomputed, not crashed
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"x": 1})
+        cache.put("cd" * 32, {"x": 2})
+        assert len(cache) == 2
+        assert cache.invalidate("ab" * 32)
+        assert not cache.invalidate("ab" * 32)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_patch_sampling_uses_cache(self, tmp_path):
+        model = DefectModel(LINK_AND_QUBIT, 0.03)
+        engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
+        first = sample_defective_patches(5, model, 2, seed=1, min_distance=3,
+                                         engine=engine)
+        assert len(ResultCache(tmp_path)) == 1
+        second = sample_defective_patches(5, model, 2, seed=1, min_distance=3,
+                                          engine=engine)
+        assert [p.defects for p in first] == [p.defects for p in second]
+
+
+# ----------------------------------------------------------------------
+# Adaptive scheduler
+# ----------------------------------------------------------------------
+class TestShotScheduler:
+    def test_fixed_policy_plans_everything_in_one_wave(self):
+        sched = ShotScheduler(ShotPolicy.fixed(1000), shard_size=256)
+        wave = sched.next_wave()
+        assert [n for _, n in wave] == [256, 256, 256, 232]
+        assert [i for i, _ in wave] == [0, 1, 2, 3]
+        sched.record(5, 1000)
+        assert sched.next_wave() == []
+
+    def test_early_stop_on_target_failures(self):
+        policy = ShotPolicy.adaptive(10**6, min_shots=100, target_failures=50)
+        sched = ShotScheduler(policy, shard_size=100)
+        sched.record(60, sum(n for _, n in sched.next_wave()))
+        assert sched.should_stop()
+        assert sched.next_wave() == []
+        assert sched.shots_done == 100
+
+    def test_minimum_shots_guaranteed_even_with_failures(self):
+        policy = ShotPolicy.adaptive(10**6, min_shots=400, target_failures=1)
+        sched = ShotScheduler(policy, shard_size=100)
+        wave = sched.next_wave()
+        # First wave covers the guaranteed minimum, not less.
+        assert sum(n for _, n in wave) == 400
+        sched.record(10, 200)  # partial bookkeeping below the minimum
+        assert not sched.should_stop()
+        sched.record(0, 200)
+        assert sched.should_stop()
+
+    def test_runs_to_max_without_failures(self):
+        policy = ShotPolicy.adaptive(1000, min_shots=100, target_failures=10)
+        sched = ShotScheduler(policy, shard_size=1000)
+        total = 0
+        while True:
+            wave = sched.next_wave()
+            if not wave:
+                break
+            shots = sum(n for _, n in wave)
+            total += shots
+            sched.record(0, shots)
+        assert total == 1000
+
+    def test_waves_grow_geometrically(self):
+        policy = ShotPolicy.adaptive(10_000, min_shots=100, target_failures=10**9)
+        sched = ShotScheduler(policy, shard_size=10_000)
+        sizes = []
+        for _ in range(4):
+            wave = sched.next_wave()
+            shots = sum(n for _, n in wave)
+            sizes.append(shots)
+            sched.record(0, shots)
+        assert sizes == [100, 200, 400, 800]
+
+    def test_rel_ci_halfwidth_stop(self):
+        policy = ShotPolicy.adaptive(10**9, min_shots=100,
+                                     target_failures=None,
+                                     target_rel_halfwidth=0.5)
+        sched = ShotScheduler(policy, shard_size=10**6)
+        sched.next_wave()
+        sched.record(80, 100)  # plentiful failures: CI is tight
+        assert sched.should_stop()
+
+    def test_adaptive_engine_run_stops_early_at_high_p(self):
+        engine = Engine(EngineConfig(shard_size=128))
+        policy = ShotPolicy.adaptive(10_000, min_shots=256, target_failures=20)
+        result = engine.run_ler(d3_task(0.03), policy=policy, seed=1)
+        assert result.failures >= 20
+        assert 256 <= result.shots < 10_000
+
+    def test_adaptive_engine_run_exhausts_budget_at_low_p(self):
+        engine = Engine(EngineConfig(shard_size=512))
+        policy = ShotPolicy.adaptive(1024, min_shots=512, target_failures=10**6)
+        result = engine.run_ler(d3_task(0.001), policy=policy, seed=1)
+        assert result.shots == 1024
+
+    def test_adaptive_runs_are_worker_count_invariant(self):
+        policy = ShotPolicy.adaptive(4096, min_shots=256, target_failures=25)
+        runs = [
+            Engine(EngineConfig(max_workers=w, shard_size=128)).run_ler(
+                d3_task(0.02), policy=policy, seed=13)
+            for w in (1, 4)
+        ]
+        assert runs[0].failures == runs[1].failures
+        assert runs[0].shots == runs[1].shots
+
+
+# ----------------------------------------------------------------------
+# Engine odds and ends
+# ----------------------------------------------------------------------
+class TestEngineApi:
+    def test_requires_exactly_one_budget_spec(self):
+        engine = Engine(EngineConfig())
+        with pytest.raises(ValueError):
+            engine.run_ler(d3_task())
+        with pytest.raises(ValueError):
+            engine.run_ler(d3_task(), shots=10, policy=ShotPolicy.fixed(10))
+
+    def test_from_env_parses_variables(self):
+        cfg = EngineConfig.from_env({"REPRO_WORKERS": "3",
+                                     "REPRO_CACHE": "/tmp/x",
+                                     "REPRO_SHARD_SIZE": "99"})
+        assert cfg == EngineConfig(max_workers=3, shard_size=99,
+                                   cache_dir="/tmp/x")
+        assert EngineConfig.from_env({}) == EngineConfig()
+
+    def test_estimate_matches_counts(self):
+        engine = Engine(EngineConfig())
+        result = engine.run_ler(d3_task(0.02), shots=300, seed=2)
+        assert result.estimate == BinomialEstimate(result.failures, 300)
+        mem = result.to_memory_result()
+        assert mem.failures == result.failures
+        assert mem.shots == 300
+        assert mem.decoder == "mwpm"
