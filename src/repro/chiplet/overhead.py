@@ -6,6 +6,12 @@ yield (discarded chiplets still had to be fabricated).  Everything else in
 the study - the choice of chiplet size, the comparison against the
 defect-intolerant baseline, the overhead envelope of Fig. 18 - derives from
 this quantity.
+
+The Monte-Carlo cells fan out over the engine's worker pool
+(:meth:`YieldEstimator.run` with an ``engine``); when a study additionally
+measures logical error rates for its accepted chiplets it does so through
+the engine's fused :class:`~repro.engine.pipeline.DecodingPipeline`, the
+same batched hot path every LER driver uses.
 """
 
 from __future__ import annotations

@@ -6,6 +6,12 @@ many chiplets, adapt a surface code to each, evaluate the indicators and test
 the criterion.  The estimator also records the code-distance distribution of
 the accepted chiplets, which feeds the application-fidelity estimates
 (Fig. 19, Tables 3-4).
+
+Yield sampling itself involves no decoding, but downstream consumers that
+measure the logical performance of accepted chiplets (the slope study, the
+cutoff sweep, the LER benchmarks) hand the sampled patches to
+:class:`~repro.engine.tasks.LerPointTask` cells, which decode on the
+engine's fused :class:`~repro.engine.pipeline.DecodingPipeline`.
 """
 
 from __future__ import annotations

@@ -1,9 +1,19 @@
 """Decoder substrate: matching graphs, MWPM and union-find decoders.
 
-In-repo replacement for PyMatching (see DESIGN.md section 2).
+In-repo replacement for PyMatching (see DESIGN.md section 2).  Both decoders
+share the deduplicating batch machinery in :mod:`repro.decoder.base` and the
+geodesic/path-parity caches that live on :class:`MatchingGraph`.
 """
 
-from .matching import DecodeResult, MatchingGraph, MwpmDecoder
+from .base import BatchDecoderBase, DecodeResult, syndrome_cache_limit
+from .matching import MatchingGraph, MwpmDecoder
 from .unionfind import UnionFindDecoder
 
-__all__ = ["DecodeResult", "MatchingGraph", "MwpmDecoder", "UnionFindDecoder"]
+__all__ = [
+    "BatchDecoderBase",
+    "DecodeResult",
+    "MatchingGraph",
+    "MwpmDecoder",
+    "UnionFindDecoder",
+    "syndrome_cache_limit",
+]

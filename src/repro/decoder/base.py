@@ -1,0 +1,182 @@
+"""Shared batched-decoding machinery for the MWPM and union-find decoders.
+
+Per-shot decoding wastes most of its work at realistic physical error rates:
+the large majority of shots produce the *empty* syndrome, and the non-empty
+ones collapse to a small set of distinct fired-detector patterns.  The
+:class:`BatchDecoderBase` mixin exploits that:
+
+1. every shot is canonicalised to a sorted tuple of fired detector indices
+   (the *sparse syndrome*, exactly what
+   :meth:`~repro.stabilizer.packed.PackedDetectorSamples.fired_detectors`
+   yields);
+2. the empty syndrome short-circuits to "no correction";
+3. distinct syndromes are decoded **once** per batch and the predictions are
+   scattered back to every shot that produced them;
+4. a bounded cross-batch memo (``REPRO_SYNDROME_CACHE`` entries, default
+   65536; ``0`` disables it) lets later batches — e.g. successive waves of
+   the adaptive shot scheduler — reuse earlier decodes outright.
+
+Subclasses implement a single method, ``_decode_fired``, mapping a canonical
+syndrome to the *parity set* of flipped logical observables (a frozenset, so
+predictions are hashable and memoisable).  Everything else — dense and
+sparse batch entry points, the legacy one-shot ``decode``, result packing —
+lives here, shared by both decoders.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["DecodeResult", "BatchDecoderBase", "syndrome_cache_limit"]
+
+_DEFAULT_SYNDROME_CACHE = 1 << 16
+
+# A canonical (sparse) syndrome: sorted tuple of fired detector indices.
+Syndrome = Tuple[int, ...]
+
+
+def syndrome_cache_limit(env=None) -> int:
+    """Cross-batch syndrome-memo capacity from ``REPRO_SYNDROME_CACHE``."""
+    env = os.environ if env is None else env
+    raw = env.get("REPRO_SYNDROME_CACHE")
+    if raw is None or raw == "":
+        return _DEFAULT_SYNDROME_CACHE
+    return int(raw)
+
+
+@dataclass
+class DecodeResult:
+    """Batch decode outcome."""
+
+    predicted_observables: np.ndarray   # shape (shots, num_observables), bool
+    num_shots: int
+
+    def logical_error_count(self, actual_observables: np.ndarray) -> int:
+        """Number of shots where any observable prediction was wrong."""
+        if actual_observables.shape != self.predicted_observables.shape:
+            raise ValueError("shape mismatch between actual and predicted observables")
+        wrong = np.any(actual_observables != self.predicted_observables, axis=1)
+        return int(np.count_nonzero(wrong))
+
+
+class BatchDecoderBase:
+    """Canonicalise → deduplicate → decode once → scatter.
+
+    Subclasses must provide ``num_observables`` (int attribute) and
+    ``_decode_fired(fired: Syndrome) -> FrozenSet[int]``.
+    """
+
+    num_observables: int
+
+    def __init__(self) -> None:
+        self._syndrome_memo: dict = {}
+        self._syndrome_memo_limit = syndrome_cache_limit()
+        # Lifetime counters, surfaced by the pipeline stats and benchmarks.
+        self.decoded_syndromes = 0     # _decode_fired invocations
+        self.memo_hits = 0             # cross-batch memo hits
+        self.shots_decoded = 0         # shots routed through the batch path
+
+    # ------------------------------------------------------------------
+    def _decode_fired(self, fired: Syndrome) -> FrozenSet[int]:
+        """Decode one canonical syndrome to its observable parity set."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def decode_fired(self, fired: Sequence[int]) -> FrozenSet[int]:
+        """Memoised decode of one sparse syndrome."""
+        return self._decode_canonical(tuple(sorted(int(i) for i in fired)))
+
+    def _decode_canonical(self, key: Syndrome) -> FrozenSet[int]:
+        """Memoised decode of an already-canonical (sorted int tuple) syndrome."""
+        if not key:
+            return frozenset()
+        memo = self._syndrome_memo
+        hit = memo.get(key)
+        if hit is not None:
+            self.memo_hits += 1
+            return hit
+        parity = self._decode_fired(key)
+        self.decoded_syndromes += 1
+        if len(memo) < self._syndrome_memo_limit:
+            memo[key] = parity
+        return parity
+
+    def decode_fired_batch(
+        self,
+        fired_lists: Sequence[Sequence[int]],
+        *,
+        assume_canonical: bool = False,
+    ) -> List[FrozenSet[int]]:
+        """Decode a batch of sparse syndromes, deduplicating within the batch.
+
+        Each *distinct* non-empty syndrome is decoded at most once (and not
+        at all when the cross-batch memo already knows it); the returned list
+        scatters the predictions back into shot order.  Empty rows — the
+        overwhelming majority at low physical error rates — skip
+        canonicalisation entirely, and ``assume_canonical=True`` lets
+        producers that already emit sorted int tuples (the packed extractor,
+        :meth:`~repro.stabilizer.packed.PackedDetectorSamples.fired_detectors`)
+        skip the per-shot sorted-tuple rebuild as well.
+        """
+        self.shots_decoded += len(fired_lists)
+        empty: FrozenSet[int] = frozenset()
+        distinct: dict = {}
+        keys: List[Syndrome] = []
+        for fired in fired_lists:
+            if not len(fired):
+                keys.append(())
+                continue
+            if assume_canonical and type(fired) is tuple:
+                key: Syndrome = fired
+            else:
+                key = tuple(sorted(int(i) for i in fired))
+            keys.append(key)
+            if key not in distinct:
+                distinct[key] = None
+        for key in distinct:
+            distinct[key] = self._decode_canonical(key)
+        return [distinct[key] if key else empty for key in keys]
+
+    # ------------------------------------------------------------------
+    def _densify(self, parity: FrozenSet[int]) -> np.ndarray:
+        out = np.zeros(self.num_observables, dtype=bool)
+        for obs in parity:
+            if obs < self.num_observables:
+                out[obs] = True
+        return out
+
+    def decode(self, detector_sample: Union[Sequence[bool], np.ndarray]) -> np.ndarray:
+        """Decode one dense shot; returns a boolean observable-flip vector."""
+        detector_sample = np.asarray(detector_sample, dtype=bool)
+        fired = tuple(int(i) for i in np.flatnonzero(detector_sample))
+        return self._densify(self.decode_fired(fired))
+
+    def decode_batch(self, detector_samples: Union[np.ndarray, Sequence]) -> DecodeResult:
+        """Decode a dense ``(shots, num_detectors)`` batch through the dedup path.
+
+        Input is coerced with ``np.asarray(..., dtype=bool)`` exactly like
+        the historical per-shot API, so boolean arrays, 0/1 integer rows and
+        nested Python lists all keep their old meaning.  Callers holding
+        *sparse* fired-index lists (e.g. from
+        :meth:`~repro.stabilizer.packed.PackedDetectorSamples.fired_detectors`)
+        should use :meth:`decode_fired_batch` instead — guessing which of
+        the two a ragged sequence means is inherently ambiguous.
+        """
+        dense = np.asarray(detector_samples, dtype=bool)
+        if dense.ndim != 2:
+            raise ValueError(
+                "decode_batch expects a dense (shots, num_detectors) array; "
+                "pass sparse fired-index lists to decode_fired_batch instead"
+            )
+        shots = dense.shape[0]
+        parities = self.decode_fired_batch([np.flatnonzero(row) for row in dense])
+        out = np.zeros((shots, self.num_observables), dtype=bool)
+        for s, parity in enumerate(parities):
+            for obs in parity:
+                if obs < self.num_observables:
+                    out[s, obs] = True
+        return DecodeResult(predicted_observables=out, num_shots=shots)

@@ -5,6 +5,8 @@ The engine is the single entry point for the repo's Monte-Carlo work:
 * :mod:`~repro.engine.tasks` - frozen, content-hashable task specs;
 * :mod:`~repro.engine.rng` - collision-free ``SeedSequence`` stream derivation;
 * :mod:`~repro.engine.scheduler` - adaptive shot allocation in waves;
+* :mod:`~repro.engine.pipeline` - fused, chunked sample→decode→tally hot path
+  (bit-packed frames, syndrome-deduplicated decoding, warm geodesic caches);
 * :mod:`~repro.engine.cache` - content-addressed on-disk JSON result cache;
 * :mod:`~repro.engine.executor` - sharded (process-pool or serial) execution.
 
@@ -24,6 +26,7 @@ environment, so existing scripts parallelise without code changes.
 """
 
 from .cache import ResultCache
+from .pipeline import DecodingPipeline, PipelineStats, default_chunk_shots
 from .executor import (
     Engine,
     EngineConfig,
@@ -43,6 +46,9 @@ from .tasks import (
 )
 
 __all__ = [
+    "DecodingPipeline",
+    "PipelineStats",
+    "default_chunk_shots",
     "Engine",
     "EngineConfig",
     "LerResult",

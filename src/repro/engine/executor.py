@@ -15,8 +15,11 @@ case, a fixed-policy run that fits in a single shard seeds the simulator with
 the *raw* user seed - exactly what the pre-engine experiment drivers did - so
 legacy seeds keep producing legacy numbers.
 
-Workers memoise the (circuit, DEM, decoder) triple per task content hash, so
-a task's expensive setup is paid once per process, not once per shard.
+Workers memoise a warm :class:`~repro.engine.pipeline.DecodingPipeline`
+(circuit, DEM, decoder, geodesic/syndrome caches) per task content hash, so a
+task's expensive setup is paid once per process, not once per shard — and
+successive shards and scheduler waves of the same task decode against
+already-cached geodesics and memoised syndromes.
 """
 
 from __future__ import annotations
@@ -35,8 +38,8 @@ from ..core.patch import AdaptedPatch
 from ..decoder.matching import MatchingGraph, MwpmDecoder
 from ..decoder.unionfind import UnionFindDecoder
 from ..stabilizer.dem import build_detector_error_model
-from ..stabilizer.frame import FrameSimulator
 from .cache import ResultCache
+from .pipeline import DecodingPipeline
 from .rng import Seed, as_seed_sequence, child_stream, from_fingerprint, seed_fingerprint
 from .scheduler import ShotPolicy, ShotScheduler
 from .tasks import LerPointTask, PatchSampleTask, canonical_json
@@ -135,7 +138,12 @@ _TASK_MEMO: Dict[str, tuple] = {}
 
 
 def _context_for(task: LerPointTask) -> tuple:
-    """Build (or reuse) the circuit/DEM/decoder for a task in this process."""
+    """Build (or reuse) the warm decoding pipeline for a task in this process.
+
+    The pipeline carries the circuit, the decoder and its geodesic/syndrome
+    caches, keyed by the task's DEM-determining content hash; scheduler waves
+    that re-enter the same task decode against warm caches.
+    """
     key = task.content_hash()
     ctx = _TASK_MEMO.get(key)
     if ctx is None:
@@ -146,7 +154,7 @@ def _context_for(task: LerPointTask) -> tuple:
             decoder = MwpmDecoder(graph)
         else:
             decoder = UnionFindDecoder(graph)
-        ctx = (circuit, decoder, len(dem))
+        ctx = (DecodingPipeline(circuit, decoder), len(dem))
         if len(_TASK_MEMO) >= _MEMO_LIMIT:
             _TASK_MEMO.pop(next(iter(_TASK_MEMO)))
         _TASK_MEMO[key] = ctx
@@ -155,11 +163,10 @@ def _context_for(task: LerPointTask) -> tuple:
 
 def _run_ler_shard(task: LerPointTask, seed: Seed, shots: int) -> Tuple[int, int, int]:
     """Sample + decode one shard; returns (failures, detectors, dem errors)."""
-    circuit, decoder, dem_size = _context_for(task)
-    samples = FrameSimulator(circuit, seed=seed).sample(shots)
-    decoded = decoder.decode_batch(samples.detectors)
-    failures = decoded.logical_error_count(samples.observables)
-    return int(failures), int(circuit.num_detectors), int(dem_size)
+    pipeline, dem_size = _context_for(task)
+    stats = pipeline.run(shots, seed=seed)
+    return (int(stats.failures), int(pipeline.circuit.num_detectors),
+            int(dem_size))
 
 
 def _run_patch_attempts(task: PatchSampleTask, root_fp, start: int, stop: int) -> list:

@@ -1,0 +1,136 @@
+"""Fused sample→decode→tally pipeline: the engine's decoding hot path.
+
+One :class:`DecodingPipeline` owns everything needed to turn (shots, seed)
+into a failure count for one circuit:
+
+* a :class:`~repro.stabilizer.packed.PackedFrameSimulator` samples the
+  detector record into bit-packed rows (64 shots per ``uint64`` word — the
+  frame never materialises a dense boolean matrix);
+* shots stream through the decoder in fixed-size chunks
+  (``REPRO_CHUNK_SHOTS``, default 1024): each chunk is extracted *sparsely*
+  (per-shot fired-detector index tuples) straight from the packed words, so
+  the decode stage never materialises a dense boolean matrix and its peak
+  memory is bounded by the chunk.  (Sampling itself is per-shard — chunked
+  sampling would change the RNG draw order and break bit-identity — but the
+  packed record is 8x smaller than the historical boolean arrays, and shard
+  size is already capped by ``REPRO_SHARD_SIZE``.);
+* the decoder's deduplicating batch path
+  (:meth:`~repro.decoder.base.BatchDecoderBase.decode_fired_batch`) decodes
+  each distinct syndrome once; its cross-batch memo and the matching graph's
+  geodesic cache persist inside the pipeline object, so successive chunks,
+  shards and scheduler waves reuse warm caches;
+* failures are tallied by comparing predicted observable parity sets against
+  the actual flipped-observable sets, shot by shot, without densifying.
+
+The executor keeps one pipeline per task content hash per worker process
+(:func:`repro.engine.executor._context_for`), which is what lets the
+adaptive wave scheduler re-enter a warm pipeline wave after wave.
+
+Determinism: the packed simulator draws the same RNG variates in the same
+order as the unpacked one, and decoding is a pure function of each shot's
+syndrome, so pipeline tallies are bit-identical to the historical
+sample-then-``decode_batch`` path for any chunk size.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from ..decoder.base import BatchDecoderBase
+from ..stabilizer.circuit import Circuit
+from ..stabilizer.packed import PackedFrameSimulator
+from .rng import Seed
+
+__all__ = ["DecodingPipeline", "PipelineStats", "default_chunk_shots"]
+
+_DEFAULT_CHUNK_SHOTS = 1024
+
+
+def default_chunk_shots(env=None) -> int:
+    """Pipeline chunk size from ``REPRO_CHUNK_SHOTS`` (default 1024)."""
+    env = os.environ if env is None else env
+    raw = env.get("REPRO_CHUNK_SHOTS")
+    if raw is None or raw == "":
+        return _DEFAULT_CHUNK_SHOTS
+    value = int(raw)
+    if value <= 0:
+        raise ValueError("REPRO_CHUNK_SHOTS must be positive")
+    return value
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """Tally and cache-efficiency counters of one pipeline run."""
+
+    shots: int
+    failures: int
+    chunks: int
+    distinct_syndromes: int     # syndromes actually decoded during this run
+    memo_hits: int              # cross-chunk/cross-run syndrome memo hits
+    empty_shots: int            # shots short-circuited on the empty syndrome
+
+    @property
+    def dedup_factor(self) -> float:
+        """Shots per actually-decoded syndrome (>= 1; higher is better)."""
+        return self.shots / max(self.distinct_syndromes, 1)
+
+
+class DecodingPipeline:
+    """Streams sample→decode→tally for one circuit with warm decoder caches."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        decoder: BatchDecoderBase,
+        *,
+        chunk_shots: Optional[int] = None,
+    ):
+        if chunk_shots is None:
+            chunk_shots = default_chunk_shots()
+        if chunk_shots <= 0:
+            raise ValueError("chunk_shots must be positive")
+        self.circuit = circuit
+        self.decoder = decoder
+        self.chunk_shots = int(chunk_shots)
+
+    # ------------------------------------------------------------------
+    def run(self, shots: int, seed: Seed = None) -> PipelineStats:
+        """Sample ``shots`` under ``seed``, decode in chunks, tally failures.
+
+        Bit-identical to ``FrameSimulator(circuit, seed).sample(shots)``
+        followed by ``decoder.decode_batch`` + ``logical_error_count`` — the
+        chunk size changes memory traffic, never the numbers.
+        """
+        if shots <= 0:
+            raise ValueError("shots must be positive")
+        decoder = self.decoder
+        decoded_before = decoder.decoded_syndromes
+        memo_before = decoder.memo_hits
+
+        samples = PackedFrameSimulator(self.circuit, seed=seed).sample(shots)
+
+        failures = 0
+        empty_shots = 0
+        chunks = 0
+        for start in range(0, shots, self.chunk_shots):
+            stop = min(start + self.chunk_shots, shots)
+            fired = samples.fired_detectors(start, stop)
+            actual = samples.flipped_observables(start, stop)
+            predictions = decoder.decode_fired_batch(fired, assume_canonical=True)
+            for syndrome, parity, actual_flips in zip(fired, predictions, actual):
+                if not syndrome:
+                    empty_shots += 1
+                if parity.symmetric_difference(actual_flips):
+                    failures += 1
+            chunks += 1
+
+        return PipelineStats(
+            shots=shots,
+            failures=failures,
+            chunks=chunks,
+            distinct_syndromes=decoder.decoded_syndromes - decoded_before,
+            memo_hits=decoder.memo_hits - memo_before,
+            empty_shots=empty_shots,
+        )

@@ -6,6 +6,12 @@ when such a qubit should be disabled (and handled with super-stabilizers)
 rather than kept in the code: for each candidate "bad qubit" error rate it
 compares the logical performance of keeping the qubit against disabling it,
 as a function of the error rate of the good qubits.
+
+Every (strategy, bad rate, p) cell decodes on the engine's fused
+:class:`~repro.engine.pipeline.DecodingPipeline`: shots stream through the
+deduplicating decoder in bounded chunks, and each worker keeps its pipeline
+(geodesic caches, memoised syndromes) warm per task content hash, so
+multi-shard cells and scheduler waves of one cell never repeat decode work.
 """
 
 from __future__ import annotations

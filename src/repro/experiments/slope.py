@@ -8,6 +8,13 @@ number of faulty qubits).  This module packages that pipeline:
 `sample_defective_patches` draws random chiplets, `estimate_slope` measures
 and fits one chiplet, and `SlopeStudy` aggregates a whole population the way
 Figs. 5 and 7-10 do.
+
+The per-chiplet LER window runs through the engine's fused
+:class:`~repro.engine.pipeline.DecodingPipeline`; because the window probes a
+*low-p* regime, almost all shots collapse to the empty or a repeated
+syndrome, which is exactly where the deduplicated decode path pays off —
+slope populations that used to be decode-bound now cost little more than the
+sampling itself.
 """
 
 from __future__ import annotations

@@ -7,6 +7,11 @@ original paper.  See DESIGN.md section 2 for the substitution rationale.
 from .circuit import Circuit, Instruction, MeasurementTracker
 from .dem import DemError, DetectorErrorModel, build_detector_error_model
 from .frame import DetectorSamples, FrameSimulator, sample_detectors
+from .packed import (
+    PackedDetectorSamples,
+    PackedFrameSimulator,
+    sample_detectors_packed,
+)
 from .pauli import PauliString, batch_commutes, commutes, pauli_product
 from .tableau import TableauSimulator
 
@@ -20,6 +25,9 @@ __all__ = [
     "DetectorSamples",
     "FrameSimulator",
     "sample_detectors",
+    "PackedDetectorSamples",
+    "PackedFrameSimulator",
+    "sample_detectors_packed",
     "PauliString",
     "pauli_product",
     "commutes",

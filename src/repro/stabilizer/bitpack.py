@@ -1,0 +1,66 @@
+"""Bit-packing helpers for the packed Pauli-frame simulator.
+
+A *bit row* stores one boolean per Monte-Carlo shot, packed 64 shots to a
+``uint64`` word in little-endian bit order: shot ``s`` lives in bit
+``s % 64`` of word ``s // 64``.  Packing shrinks the frame and the
+measurement-flip record by 8x in memory (boolean arrays are byte-per-bit in
+numpy) and lets every XOR-style frame update touch 64 shots per word, which
+is what makes the packed simulator's gate layer cheap on the
+memory-bandwidth-bound benchmark host.
+
+All helpers operate on the **last** axis so they work for single rows
+(shape ``(num_words,)``) and row matrices (shape ``(rows, num_words)``)
+alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "num_words",
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+]
+
+WORD_BITS = 64
+
+
+def num_words(num_bits: int) -> int:
+    """Words needed to hold ``num_bits`` bits."""
+    return (int(num_bits) + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack booleans along the last axis into little-endian ``uint64`` words.
+
+    The result always spans ``num_words(n)`` full words; padding bits beyond
+    the input length are zero.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    n = bits.shape[-1]
+    nw = num_words(n)
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    pad = nw * (WORD_BITS // 8) - packed.shape[-1]
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, count: int) -> np.ndarray:
+    """Unpack ``uint64`` words back to the first ``count`` booleans per row."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    as_bytes = words.view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, count=int(count), bitorder="little")
+    return bits.astype(bool)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits (padding bits are zero by construction)."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    return int(np.unpackbits(words.view(np.uint8), bitorder="little").sum())

@@ -94,8 +94,15 @@ class FrameSimulator:
         self.rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
-    def sample(self, shots: int) -> DetectorSamples:
-        """Run ``shots`` Monte-Carlo samples of the circuit."""
+    def sample(self, shots: int, *, trace=None) -> DetectorSamples:
+        """Run ``shots`` Monte-Carlo samples of the circuit.
+
+        ``trace``, if given, is called after every instruction with
+        ``(instruction_index, instruction, x, z, meas_flips)`` — the same
+        hook :class:`~repro.stabilizer.packed.PackedFrameSimulator` offers,
+        which is how the test suite checks that the packed and unpacked
+        simulators agree instruction by instruction.
+        """
         if shots <= 0:
             raise ValueError("shots must be positive")
         circuit = self.circuit
@@ -110,7 +117,7 @@ class FrameSimulator:
 
         m_idx = 0
         d_idx = 0
-        for inst in circuit.instructions:
+        for i_idx, inst in enumerate(circuit.instructions):
             name = inst.name
             t = inst.targets
             if name == "CX":
@@ -201,6 +208,8 @@ class FrameSimulator:
                 pass
             else:  # pragma: no cover - circuit validation prevents this
                 raise ValueError(f"unhandled instruction {name}")
+            if trace is not None:
+                trace(i_idx, inst, x.copy(), z.copy(), meas_flips.copy())
 
         num_obs = self.circuit.num_observables
         return DetectorSamples(

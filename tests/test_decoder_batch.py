@@ -1,0 +1,292 @@
+"""Property tests: batched/deduplicated decoding is bit-identical to the
+per-shot reference, for both decoders, with and without observables.
+
+:func:`repro.decoder.reference.reference_mwpm_decode` is the frozen
+pre-pipeline per-shot MWPM algorithm (fresh Dijkstra sweep over the fired
+detectors, fresh networkx matching graph, dict-counted path parities).  The
+batched decoder must reproduce it exactly on every shot of every random
+batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.decoder import MatchingGraph, MwpmDecoder, UnionFindDecoder
+from repro.decoder.reference import reference_mwpm_decode as _reference_mwpm_decode
+from repro.stabilizer.dem import DemError, DetectorErrorModel
+
+
+# ----------------------------------------------------------------------
+# DEM fixtures
+# ----------------------------------------------------------------------
+def _line_dem(n=6, p=0.05, with_observables=True):
+    obs = (0,) if with_observables else ()
+    errors = [DemError(p, (0,), obs), DemError(p, (n - 1,), ())]
+    for i in range(n - 1):
+        errors.append(DemError(p, (i, i + 1), (1,) if with_observables and i == 2 else ()))
+    num_obs = 2 if with_observables else 0
+    return DetectorErrorModel(num_detectors=n, num_observables=num_obs, errors=errors)
+
+
+def _grid_dem(rows=3, cols=4, p=0.03, with_observables=True, seed=5):
+    """A 2-D grid of detectors; left/right columns connect to the boundary."""
+    rng = np.random.default_rng(seed)
+    errors = []
+    def idx(r, c):
+        return r * cols + c
+    for r in range(rows):
+        errors.append(DemError(p, (idx(r, 0),), (0,) if with_observables else ()))
+        errors.append(DemError(p, (idx(r, cols - 1),), ()))
+        for c in range(cols - 1):
+            obs = (1,) if with_observables and rng.random() < 0.3 else ()
+            errors.append(DemError(float(rng.uniform(0.01, 0.2)),
+                                   (idx(r, c), idx(r, c + 1)), obs))
+    for r in range(rows - 1):
+        for c in range(cols):
+            errors.append(DemError(float(rng.uniform(0.01, 0.2)),
+                                   (idx(r, c), idx(r + 1, c)), ()))
+    num_obs = 2 if with_observables else 0
+    return DetectorErrorModel(rows * cols, num_obs, errors)
+
+
+def _memory_dem(distance=3, p=0.004):
+    from repro.core.adaptation import adapt_patch
+    from repro.noise.circuit_noise import CircuitNoiseModel
+    from repro.noise.fabrication import DefectSet
+    from repro.stabilizer.dem import build_detector_error_model
+    from repro.surface_code.circuits import build_memory_circuit
+    from repro.surface_code.layout import RotatedSurfaceCodeLayout
+
+    patch = adapt_patch(RotatedSurfaceCodeLayout(distance), DefectSet.of())
+    circuit = build_memory_circuit(patch, CircuitNoiseModel.standard(p), distance)
+    return build_detector_error_model(circuit)
+
+
+def _random_batch(num_detectors, shots, rng, density=0.15):
+    batch = rng.random((shots, num_detectors)) < density
+    # Force duplicates and empties into the batch so dedup paths are hit.
+    if shots >= 4:
+        batch[shots // 2] = batch[0]
+        batch[shots // 2 + 1] = False
+    return batch
+
+
+DEMS = [
+    pytest.param(_line_dem(with_observables=True), id="line-obs"),
+    pytest.param(_line_dem(with_observables=False), id="line-no-obs"),
+    pytest.param(_grid_dem(with_observables=True), id="grid-obs"),
+    pytest.param(_grid_dem(with_observables=False), id="grid-no-obs"),
+]
+
+
+# ----------------------------------------------------------------------
+# Bit-identity properties
+# ----------------------------------------------------------------------
+class TestMwpmBatchBitIdentity:
+    @pytest.mark.parametrize("dem", DEMS)
+    def test_matches_reference_on_random_batches(self, dem):
+        graph = MatchingGraph(dem)
+        decoder = MwpmDecoder(graph)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            batch = _random_batch(dem.num_detectors, 24, rng)
+            result = decoder.decode_batch(batch)
+            for s in range(batch.shape[0]):
+                expected = _reference_mwpm_decode(graph, batch[s])
+                assert np.array_equal(result.predicted_observables[s], expected), s
+
+    def test_matches_reference_on_circuit_dem(self):
+        dem = _memory_dem()
+        graph = MatchingGraph(dem)
+        decoder = MwpmDecoder(graph)
+        rng = np.random.default_rng(23)
+        batch = _random_batch(dem.num_detectors, 32, rng, density=0.05)
+        result = decoder.decode_batch(batch)
+        for s in range(batch.shape[0]):
+            expected = _reference_mwpm_decode(graph, batch[s])
+            assert np.array_equal(result.predicted_observables[s], expected), s
+
+    @pytest.mark.parametrize("dem", DEMS)
+    def test_single_shot_decode_matches_reference(self, dem):
+        graph = MatchingGraph(dem)
+        decoder = MwpmDecoder(graph)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            syndrome = rng.random(dem.num_detectors) < 0.2
+            assert np.array_equal(decoder.decode(syndrome),
+                                  _reference_mwpm_decode(graph, syndrome))
+
+
+class TestUnionFindBatchBitIdentity:
+    @pytest.mark.parametrize("dem", DEMS)
+    def test_batch_matches_fresh_per_shot_decode(self, dem):
+        batch_decoder = UnionFindDecoder(MatchingGraph(dem))
+        rng = np.random.default_rng(17)
+        batch = _random_batch(dem.num_detectors, 24, rng)
+        result = batch_decoder.decode_batch(batch)
+        for s in range(batch.shape[0]):
+            fresh = UnionFindDecoder(MatchingGraph(dem))
+            assert np.array_equal(result.predicted_observables[s],
+                                  fresh.decode(batch[s])), s
+
+
+# ----------------------------------------------------------------------
+# Dedup / caching behaviour
+# ----------------------------------------------------------------------
+class TestDedupMachinery:
+    def test_empty_batch_never_touches_dijkstra(self):
+        graph = MatchingGraph(_line_dem())
+        decoder = MwpmDecoder(graph)
+        decoder.decode_batch(np.zeros((50, 6), dtype=bool))
+        assert graph.cache_stats()["geodesic_sources"] == 0
+        assert decoder.decoded_syndromes == 0
+
+    def test_one_decode_per_distinct_syndrome(self):
+        decoder = MwpmDecoder(MatchingGraph(_line_dem()))
+        batch = np.zeros((40, 6), dtype=bool)
+        batch[::2, 1] = True
+        batch[::2, 2] = True
+        batch[1::4, 0] = True
+        batch[0, 0] = True  # one shot upgraded to {0, 1, 2}
+        result = decoder.decode_batch(batch)
+        assert result.num_shots == 40
+        # Three distinct non-empty syndromes: {1,2}, {0,1,2}, {0}.
+        assert decoder.decoded_syndromes == 3
+
+    def test_one_dijkstra_sweep_per_distinct_fired_detector(self):
+        graph = MatchingGraph(_line_dem())
+        decoder = MwpmDecoder(graph)
+        rng = np.random.default_rng(2)
+        batch = rng.random((64, 6)) < 0.3
+        decoder.decode_batch(batch)
+        fired_ever = {int(d) for row in batch for d in np.flatnonzero(row)}
+        assert graph.cache_stats()["geodesic_sources"] == len(fired_ever)
+
+    def test_cross_batch_memo_hits(self):
+        decoder = MwpmDecoder(MatchingGraph(_line_dem()))
+        batch = np.zeros((8, 6), dtype=bool)
+        batch[:, 2] = True
+        decoder.decode_batch(batch)
+        first = decoder.decoded_syndromes
+        decoder.decode_batch(batch)
+        assert decoder.decoded_syndromes == first  # all memo hits
+        assert decoder.memo_hits > 0
+
+    def test_memo_limit_zero_disables_cross_batch_memo(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYNDROME_CACHE", "0")
+        decoder = MwpmDecoder(MatchingGraph(_line_dem()))
+        batch = np.zeros((4, 6), dtype=bool)
+        batch[:, 2] = True
+        decoder.decode_batch(batch)
+        decoder.decode_batch(batch)
+        # Decoded once per batch (within-batch dedup still applies).
+        assert decoder.decoded_syndromes == 2
+
+    def test_sparse_fired_batch_equivalent_to_dense(self):
+        decoder_a = MwpmDecoder(MatchingGraph(_line_dem()))
+        decoder_b = MwpmDecoder(MatchingGraph(_line_dem()))
+        rng = np.random.default_rng(9)
+        dense = rng.random((16, 6)) < 0.25
+        sparse = [tuple(int(i) for i in np.flatnonzero(row)) for row in dense]
+        a = decoder_a.decode_batch(dense)
+        parities = decoder_b.decode_fired_batch(sparse)
+        for s, parity in enumerate(parities):
+            assert parity == frozenset(np.flatnonzero(a.predicted_observables[s])), s
+
+    def test_integer_ndarray_index_lists_via_decode_fired_batch(self):
+        # np.flatnonzero output per shot routes through decode_fired_batch.
+        decoder = MwpmDecoder(MatchingGraph(_line_dem()))
+        dense = np.zeros((2, 6), dtype=bool)
+        dense[0, 3] = True
+        dense[1, 0] = True
+        dense[1, 2] = True
+        parities = decoder.decode_fired_batch([np.flatnonzero(r) for r in dense])
+        b = MwpmDecoder(MatchingGraph(_line_dem())).decode_batch(dense)
+        for s, parity in enumerate(parities):
+            assert parity == frozenset(np.flatnonzero(b.predicted_observables[s])), s
+
+    def test_decode_batch_keeps_historical_dense_coercion(self):
+        # Nested Python bool lists AND 0/1 integer rows both meant dense
+        # data under the old np.asarray(..., dtype=bool) API; they must
+        # keep decoding identically (no dense/sparse guessing).
+        expected = MwpmDecoder(MatchingGraph(_line_dem())).decode_batch(
+            np.array([[1, 0, 0, 0, 0, 0], [0, 0, 1, 1, 0, 0]], dtype=bool))
+        for rows in (
+            [[True, False, False, False, False, False],
+             [False, False, True, True, False, False]],
+            [[1, 0, 0, 0, 0, 0], [0, 0, 1, 1, 0, 0]],
+        ):
+            got = MwpmDecoder(MatchingGraph(_line_dem())).decode_batch(rows)
+            assert np.array_equal(got.predicted_observables,
+                                  expected.predicted_observables)
+        assert expected.predicted_observables[0, 0]  # boundary error flips obs 0
+
+    def test_decode_batch_rejects_non_2d_input(self):
+        decoder = MwpmDecoder(MatchingGraph(_line_dem()))
+        with pytest.raises(ValueError):
+            decoder.decode_batch(np.zeros(6, dtype=bool))
+
+
+# ----------------------------------------------------------------------
+# Boundary-surrogate fallback handling (the fixed silent-continue bug)
+# ----------------------------------------------------------------------
+class TestBoundaryFallback:
+    def _orphan_dem(self):
+        """Detectors 0,1 reach the boundary; 2,3 form an isolated component
+        whose connecting edge flips observable 0."""
+        return DetectorErrorModel(4, 1, [
+            DemError(0.1, (0,), ()),
+            DemError(0.1, (0, 1), ()),
+            DemError(0.1, (1,), ()),
+            DemError(0.1, (2, 3), (0,)),
+        ])
+
+    def test_orphan_component_gets_one_fallback_anchor(self):
+        graph = MatchingGraph(self._orphan_dem())
+        assert graph._fallback_edges == frozenset({2})
+        assert np.isfinite(graph.pair_distance(2, graph.boundary))
+        assert np.isfinite(graph.pair_distance(3, graph.boundary))
+
+    def test_isolated_detector_correction_not_dropped(self):
+        # Detector 3 fires alone: its only route to the boundary runs over
+        # the real (2,3) edge to the component anchor, so the observable it
+        # carries must be applied.  The historical decoder silently skipped
+        # the walk and predicted no flip.
+        decoder = MwpmDecoder(MatchingGraph(self._orphan_dem()))
+        prediction = decoder.decode(np.array([False, False, False, True]))
+        assert prediction[0]
+
+    def test_anchor_detector_matches_boundary_directly(self):
+        decoder = MwpmDecoder(MatchingGraph(self._orphan_dem()))
+        prediction = decoder.decode(np.array([False, False, True, False]))
+        assert not prediction.any()
+
+    def test_orphan_pair_still_matches_internally(self):
+        decoder = MwpmDecoder(MatchingGraph(self._orphan_dem()))
+        prediction = decoder.decode(np.array([False, False, True, True]))
+        assert prediction[0]
+
+    def test_boundary_connected_dems_gain_no_fallback_edges(self):
+        assert MatchingGraph(_line_dem())._fallback_edges == frozenset()
+        assert MatchingGraph(_memory_dem())._fallback_edges == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Path-parity cache semantics (set-XOR / frozenset satellite)
+# ----------------------------------------------------------------------
+class TestPathParityCache:
+    def test_parity_is_hashable_frozenset(self):
+        graph = MatchingGraph(_line_dem())
+        parity = graph.path_parity(0, graph.boundary)
+        assert isinstance(parity, frozenset)
+        assert parity == frozenset({0})
+        # Cached object is reused allocation-free.
+        assert graph.path_parity(graph.boundary, 0) is parity
+
+    def test_parity_xor_cancels_even_traversals(self):
+        # Edge (2,3) carries observable 1 in the line DEM; a path crossing
+        # it twice would cancel.  Here we check odd counting end to end:
+        graph = MatchingGraph(_line_dem())
+        assert graph.path_parity(2, 3) == frozenset({1})
+        assert graph.path_parity(1, 4) == frozenset({1})
+        assert graph.path_parity(1, 2) == frozenset()

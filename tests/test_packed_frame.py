@@ -1,0 +1,153 @@
+"""Packed vs unpacked frame simulation: instruction-by-instruction agreement.
+
+The packed simulator must consume the RNG stream exactly like the unpacked
+one and hold a bit-identical frame after **every** instruction — that is
+what makes the pipeline's tallies bit-identical to the legacy path.  The
+``trace`` hooks on both simulators expose the frame after each instruction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stabilizer import (
+    Circuit,
+    FrameSimulator,
+    PackedFrameSimulator,
+    sample_detectors,
+    sample_detectors_packed,
+)
+from repro.stabilizer.bitpack import num_words, pack_bits, popcount, unpack_bits
+
+
+def _noisy_circuit(p=0.1) -> Circuit:
+    """Exercise every instruction the simulators implement."""
+    c = Circuit(6)
+    c.append("R", [0, 1, 2, 3])
+    c.append("RX", [4, 5])
+    c.append("X_ERROR", [0, 1], p)
+    c.append("Z_ERROR", [4], p)
+    c.append("Y_ERROR", [2], p)
+    c.append("DEPOLARIZE1", [3], p)
+    c.append("H", [1])
+    c.append("S", [2])
+    c.append("X", [0])
+    c.append("Z", [5])
+    c.append("CX", [0, 3, 1, 2])
+    c.append("CZ", [4, 5])
+    c.append("DEPOLARIZE2", [0, 1], p)
+    c.append("TICK")
+    c.append("MR", [3])
+    c.append("M", [0, 1])
+    c.append("MX", [4])
+    c.append("DETECTOR", [0])
+    c.append("DETECTOR", [1, 2])
+    c.append("M", [2])
+    c.append("OBSERVABLE_INCLUDE", [4], 0)
+    c.append("OBSERVABLE_INCLUDE", [3], 1)
+    return c
+
+
+def _memory_circuit(distance=3, p=0.005):
+    from repro.core.adaptation import adapt_patch
+    from repro.noise.circuit_noise import CircuitNoiseModel
+    from repro.noise.fabrication import DefectSet
+    from repro.surface_code.circuits import build_memory_circuit
+    from repro.surface_code.layout import RotatedSurfaceCodeLayout
+
+    patch = adapt_patch(RotatedSurfaceCodeLayout(distance), DefectSet.of())
+    return build_memory_circuit(patch, CircuitNoiseModel.standard(p), distance)
+
+
+class TestBitpack:
+    @pytest.mark.parametrize("n", [1, 7, 63, 64, 65, 200])
+    def test_roundtrip(self, n):
+        rng = np.random.default_rng(n)
+        bits = rng.random(n) < 0.4
+        packed = pack_bits(bits)
+        assert packed.shape == (num_words(n),)
+        assert packed.dtype == np.uint64
+        assert np.array_equal(unpack_bits(packed, n), bits)
+        assert popcount(packed) == int(bits.sum())
+
+    def test_roundtrip_matrix(self):
+        rng = np.random.default_rng(0)
+        bits = rng.random((5, 130)) < 0.5
+        assert np.array_equal(unpack_bits(pack_bits(bits), 130), bits)
+
+    def test_padding_bits_are_zero(self):
+        packed = pack_bits(np.ones(3, dtype=bool))
+        assert popcount(packed) == 3
+
+
+class TestInstructionByInstructionAgreement:
+    @pytest.mark.parametrize("shots", [1, 7, 64, 130])
+    def test_full_gate_set(self, shots):
+        circuit = _noisy_circuit()
+        packed_states = []
+        unpacked_states = []
+        PackedFrameSimulator(circuit, seed=99).sample(
+            shots, trace=lambda i, inst, x, z, m: packed_states.append(
+                (i, inst.name, x, z, m)))
+        FrameSimulator(circuit, seed=99).sample(
+            shots, trace=lambda i, inst, x, z, m: unpacked_states.append(
+                (i, inst.name, x, z, m)))
+        assert len(packed_states) == len(circuit) == len(unpacked_states)
+        for (i, name, px, pz, pm), (_, _, ux, uz, um) in zip(
+                packed_states, unpacked_states):
+            assert np.array_equal(px, ux), f"X frame diverged after {i}:{name}"
+            assert np.array_equal(pz, uz), f"Z frame diverged after {i}:{name}"
+            assert np.array_equal(pm, um), f"measurement record diverged after {i}:{name}"
+
+    def test_memory_circuit_agreement(self):
+        circuit = _memory_circuit()
+        for shots in (1, 64, 257):
+            unpacked = FrameSimulator(circuit, seed=7).sample(shots)
+            packed = PackedFrameSimulator(circuit, seed=7).sample(shots)
+            assert np.array_equal(unpacked.detectors, packed.detectors)
+            assert np.array_equal(unpacked.observables, packed.observables)
+
+
+class TestPackedSamples:
+    def test_shapes_and_views(self):
+        circuit = _memory_circuit()
+        samples = sample_detectors_packed(circuit, shots=70, seed=3)
+        assert samples.num_shots == 70
+        assert samples.detectors.shape == (70, circuit.num_detectors)
+        assert samples.observables.shape == (70, circuit.num_observables)
+        legacy = samples.to_detector_samples()
+        assert np.array_equal(legacy.detectors, samples.detectors)
+
+    def test_sparse_extraction_matches_dense(self):
+        circuit = _memory_circuit(p=0.01)
+        samples = sample_detectors_packed(circuit, shots=150, seed=5)
+        dense = samples.detectors
+        fired = samples.fired_detectors()
+        assert len(fired) == 150
+        for s in range(150):
+            assert fired[s] == tuple(np.flatnonzero(dense[s]))
+        # Windowed extraction (word-unaligned boundaries).
+        window = samples.fired_detectors(67, 131)
+        for i, s in enumerate(range(67, 131)):
+            assert window[i] == tuple(np.flatnonzero(dense[s]))
+        obs_window = samples.flipped_observables(1, 150)
+        dense_obs = samples.observables
+        for i, s in enumerate(range(1, 150)):
+            assert obs_window[i] == tuple(np.flatnonzero(dense_obs[s]))
+
+    def test_detection_fraction_matches_dense(self):
+        circuit = _memory_circuit(p=0.01)
+        samples = sample_detectors_packed(circuit, shots=100, seed=6)
+        dense = sample_detectors(circuit, shots=100, seed=6)
+        assert samples.detection_fraction() == pytest.approx(
+            dense.detection_fraction())
+
+    def test_range_validation(self):
+        circuit = _memory_circuit()
+        samples = sample_detectors_packed(circuit, shots=10, seed=1)
+        with pytest.raises(ValueError):
+            samples.fired_detectors(5, 11)
+        assert samples.fired_detectors(4, 4) == []
+
+    def test_shots_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PackedFrameSimulator(_noisy_circuit()).sample(0)
