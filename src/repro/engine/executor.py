@@ -35,6 +35,7 @@ import numpy as np
 
 from ..analysis.stats import BinomialEstimate
 from ..core.patch import AdaptedPatch
+from ..env import env_int
 from ..decoder.matching import MatchingGraph, MwpmDecoder
 from ..decoder.unionfind import UnionFindDecoder
 from ..stabilizer.dem import build_detector_error_model
@@ -84,11 +85,16 @@ class EngineConfig:
 
     @classmethod
     def from_env(cls, env=None) -> "EngineConfig":
-        """Read ``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE``."""
+        """Read ``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE``.
+
+        Integer variables are validated up front (:func:`repro.env.env_int`):
+        garbage or non-positive values raise a ``ValueError`` naming the
+        variable instead of surfacing later as a bare ``int()`` traceback.
+        """
         env = os.environ if env is None else env
-        workers = int(env.get("REPRO_WORKERS") or 1)
+        workers = env_int("REPRO_WORKERS", 1, minimum=1, env=env)
         cache = env.get("REPRO_CACHE") or None
-        shard = int(env.get("REPRO_SHARD_SIZE") or 4096)
+        shard = env_int("REPRO_SHARD_SIZE", 4096, minimum=1, env=env)
         return cls(max_workers=workers, shard_size=shard, cache_dir=cache)
 
 

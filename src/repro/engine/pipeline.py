@@ -34,11 +34,12 @@ sample-then-``decode_batch`` path for any chunk size.
 
 from __future__ import annotations
 
-import os
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..decoder.base import BatchDecoderBase
+from ..env import env_int
 from ..stabilizer.circuit import Circuit
 from ..stabilizer.packed import PackedFrameSimulator
 from .rng import Seed
@@ -50,14 +51,8 @@ _DEFAULT_CHUNK_SHOTS = 1024
 
 def default_chunk_shots(env=None) -> int:
     """Pipeline chunk size from ``REPRO_CHUNK_SHOTS`` (default 1024)."""
-    env = os.environ if env is None else env
-    raw = env.get("REPRO_CHUNK_SHOTS")
-    if raw is None or raw == "":
-        return _DEFAULT_CHUNK_SHOTS
-    value = int(raw)
-    if value <= 0:
-        raise ValueError("REPRO_CHUNK_SHOTS must be positive")
-    return value
+    return env_int("REPRO_CHUNK_SHOTS", _DEFAULT_CHUNK_SHOTS,
+                   minimum=1, env=env)
 
 
 @dataclass(frozen=True)
@@ -70,11 +65,24 @@ class PipelineStats:
     distinct_syndromes: int     # syndromes actually decoded during this run
     memo_hits: int              # cross-chunk/cross-run syndrome memo hits
     empty_shots: int            # shots short-circuited on the empty syndrome
+    sample_seconds: float = 0.0  # wall-clock spent in the packed sampler
+    decode_seconds: float = 0.0  # wall-clock spent extracting/decoding/tallying
 
     @property
     def dedup_factor(self) -> float:
         """Shots per actually-decoded syndrome (>= 1; higher is better)."""
         return self.shots / max(self.distinct_syndromes, 1)
+
+    @property
+    def sample_fraction(self) -> float:
+        """Share of the run's wall-clock spent sampling (0 when untimed).
+
+        With batched decoding in place, sampling is the pipeline's dominant
+        cost at low physical error rates; this split is what the sampler
+        benchmark tracks across PRs.
+        """
+        total = self.sample_seconds + self.decode_seconds
+        return self.sample_seconds / total if total > 0 else 0.0
 
 
 class DecodingPipeline:
@@ -94,6 +102,10 @@ class DecodingPipeline:
         self.circuit = circuit
         self.decoder = decoder
         self.chunk_shots = int(chunk_shots)
+        # One warm simulator for the pipeline's lifetime: the compiled
+        # vectorised program is reused across runs (shards, scheduler
+        # waves); only the RNG stream is replaced per run.
+        self._sim = PackedFrameSimulator(circuit)
 
     # ------------------------------------------------------------------
     def run(self, shots: int, seed: Seed = None) -> PipelineStats:
@@ -109,7 +121,9 @@ class DecodingPipeline:
         decoded_before = decoder.decoded_syndromes
         memo_before = decoder.memo_hits
 
-        samples = PackedFrameSimulator(self.circuit, seed=seed).sample(shots)
+        t0 = time.perf_counter()
+        samples = self._sim.reseed(seed).sample(shots)
+        t1 = time.perf_counter()
 
         failures = 0
         empty_shots = 0
@@ -125,6 +139,7 @@ class DecodingPipeline:
                 if parity.symmetric_difference(actual_flips):
                     failures += 1
             chunks += 1
+        t2 = time.perf_counter()
 
         return PipelineStats(
             shots=shots,
@@ -133,4 +148,6 @@ class DecodingPipeline:
             distinct_syndromes=decoder.decoded_syndromes - decoded_before,
             memo_hits=decoder.memo_hits - memo_before,
             empty_shots=empty_shots,
+            sample_seconds=t1 - t0,
+            decode_seconds=t2 - t1,
         )

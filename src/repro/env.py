@@ -1,0 +1,48 @@
+"""Validated parsing of ``REPRO_*`` environment variables.
+
+Every runtime knob the library reads from the environment goes through
+:func:`env_int`, so a typo'd or out-of-range value fails immediately with a
+message naming the variable — instead of a bare ``int()`` traceback deep in
+an engine worker, or (worse) a silently accepted negative limit.
+
+The helpers deliberately live in a leaf module with no intra-package
+imports: they are shared by :mod:`repro.decoder.base`,
+:mod:`repro.engine.pipeline` and :mod:`repro.engine.executor`, which sit on
+opposite sides of the decoder/engine dependency edge.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional
+
+__all__ = ["env_int"]
+
+
+def env_int(
+    name: str,
+    default: int,
+    *,
+    minimum: Optional[int] = None,
+    env: Optional[Mapping[str, str]] = None,
+) -> int:
+    """Read integer variable ``name``, falling back to ``default``.
+
+    An unset or empty variable yields ``default`` (the default itself is not
+    range-checked — callers own their defaults).  Anything else must parse as
+    an integer and, when ``minimum`` is given, be ``>= minimum``; violations
+    raise ``ValueError`` naming the variable and the offending value.
+    """
+    env = os.environ if env is None else env
+    raw = env.get(name)
+    if raw is None or str(raw).strip() == "":
+        return default
+    try:
+        value = int(str(raw).strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value

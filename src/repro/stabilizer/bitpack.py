@@ -10,7 +10,10 @@ memory-bandwidth-bound benchmark host.
 
 All helpers operate on the **last** axis so they work for single rows
 (shape ``(num_words,)``) and row matrices (shape ``(rows, num_words)``)
-alike.
+alike.  :func:`pack_rows` is the multi-row hot path of the vectorised
+sampler: one call packs a whole ``(targets, shots)`` flip-mask matrix —
+e.g. every noise row of a fused channel — into ``(targets, num_words)``
+words, instead of one :func:`pack_bits` call per target.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ __all__ = [
     "WORD_BITS",
     "num_words",
     "pack_bits",
+    "pack_rows",
     "unpack_bits",
     "popcount",
 ]
@@ -33,23 +37,43 @@ def num_words(num_bits: int) -> int:
     return (int(num_bits) + WORD_BITS - 1) // WORD_BITS
 
 
+def _pack_last_axis(bits: np.ndarray) -> np.ndarray:
+    """Pack booleans along the last axis into full little-endian words.
+
+    The result spans ``num_words(n)`` words; padding bits beyond the input
+    length are zero.  The word padding writes into a freshly allocated byte
+    buffer (no concatenate copy) so the multi-row case costs one pass.
+    """
+    n = bits.shape[-1]
+    nbytes = num_words(n) * (WORD_BITS // 8)
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    if packed.shape[-1] != nbytes:
+        padded = np.zeros(bits.shape[:-1] + (nbytes,), dtype=np.uint8)
+        padded[..., : packed.shape[-1]] = packed
+        packed = padded
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack booleans along the last axis into little-endian ``uint64`` words.
 
     The result always spans ``num_words(n)`` full words; padding bits beyond
     the input length are zero.
     """
+    return _pack_last_axis(np.asarray(bits, dtype=bool))
+
+
+def pack_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, n)`` boolean matrix into ``(rows, num_words(n))`` words.
+
+    The whole-matrix twin of :func:`pack_bits` used by the vectorised
+    sampler: every row is one target's flip mask, and one call packs the
+    full instruction (or fused instruction run) at once.
+    """
     bits = np.asarray(bits, dtype=bool)
-    n = bits.shape[-1]
-    nw = num_words(n)
-    packed = np.packbits(bits, axis=-1, bitorder="little")
-    pad = nw * (WORD_BITS // 8) - packed.shape[-1]
-    if pad:
-        packed = np.concatenate(
-            [packed, np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)],
-            axis=-1,
-        )
-    return np.ascontiguousarray(packed).view(np.uint64)
+    if bits.ndim != 2:
+        raise ValueError(f"pack_rows expects a 2-D (rows, bits) matrix, got shape {bits.shape}")
+    return _pack_last_axis(bits)
 
 
 def unpack_bits(words: np.ndarray, count: int) -> np.ndarray:

@@ -102,9 +102,18 @@ class FrameSimulator:
         hook :class:`~repro.stabilizer.packed.PackedFrameSimulator` offers,
         which is how the test suite checks that the packed and unpacked
         simulators agree instruction by instruction.
+
+        ``shots=0`` returns an empty sample without consuming RNG state —
+        the same zero-shot contract as the packed simulator, so engine
+        shard math may pass degenerate requests through either.
         """
-        if shots <= 0:
-            raise ValueError("shots must be positive")
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        if shots == 0:
+            return DetectorSamples(
+                detectors=np.zeros((0, self.circuit.num_detectors), dtype=bool),
+                observables=np.zeros((0, self.circuit.num_observables), dtype=bool),
+            )
         circuit = self.circuit
         n = circuit.num_qubits
         rng = self.rng

@@ -4,18 +4,54 @@
 as :class:`~repro.stabilizer.frame.FrameSimulator` (see that module's table)
 but stores the X/Z frame components, the measurement-flip record and the
 detector/observable outputs as little-endian ``uint64`` bit rows
-(:mod:`~repro.stabilizer.bitpack`): one word carries 64 shots.  Gate updates
-become word-wide XOR/swap operations — 8x less memory traffic than numpy
-bool arrays and 64 shots per ALU op — while noise channels draw the **same**
-``rng.random(shots)`` variates in the **same order** as the unpacked
-simulator and only then pack the resulting flip masks.  Consequently a
-packed run is bit-identical to an unpacked run with the same seed; the test
-suite checks this instruction by instruction via the ``trace`` hooks.
+(:mod:`~repro.stabilizer.bitpack`): one word carries 64 shots.
+
+Instruction dispatch is **vectorised**: at construction the circuit is
+compiled into a small program whose ops carry precomputed target index
+arrays, per-row noise probabilities, flattened measurement maps and
+read/write-hazard-free two-qubit groups, so each op executes as one (or a
+few) whole-array numpy kernels instead of a per-target Python loop:
+
+* noise channels draw their variates per *op* with
+  ``rng.random((rows, shots))`` — C-order row fill reproduces the
+  per-target sequential draw order exactly — into a reused scratch buffer,
+  and turn them into packed flip rows by whole-matrix packing
+  (:func:`~repro.stabilizer.bitpack.pack_rows`);
+* the depolarizing channels additionally pick a *sparse* strategy below
+  ``_SPARSE_P_MAX``: the packed hit mask is scanned at word granularity
+  (64 lanes per compare), only the few hit words are expanded to lane
+  indices, and the per-lane Pauli choice is computed on those lanes alone
+  before XOR-scattering single bits into the frame — at p = 1e-3 fewer
+  than 0.1% of lanes flip, so full-lane Pauli arithmetic is almost all
+  wasted memory traffic;
+* draws are *row-blocked* (``_BLOCK_BYTES``): an op covering many targets
+  draws consecutive row blocks instead of one giant matrix, which keeps
+  the float64 scratch inside the cache sweet spot without touching draw
+  order (block rows concatenate in exactly the C order of the full draw);
+* gate updates are fancy-indexed XORs on target index arrays
+  (``x[tgt] ^= x[ctrl]``), with CX/CZ pair lists split greedily into
+  duplicate-free groups so chained pairs keep their sequential meaning;
+* DETECTOR / OBSERVABLE_INCLUDE reduce with ``np.bitwise_xor.reduceat`` /
+  ``np.bitwise_xor.reduce`` over measurement-index arrays resolved at
+  compile time;
+* runs of *consecutive same-channel instructions* (the dominant shape in
+  the surface-code circuits, which emit one-target noise instructions) fuse
+  into a single op — RNG draw order is unchanged because the fused block
+  draw fills rows in exactly the per-instruction order.
+
+Noise draws consume the **same** ``rng`` variates in the **same order** as
+the unpacked simulator, so a packed run is bit-identical to an unpacked run
+with the same seed; the test suite checks this instruction by instruction
+via the ``trace`` hooks, and against the frozen per-target loop in
+:mod:`repro.stabilizer.reference`.  When a ``trace`` hook is given, the
+simulator switches to a stepwise program (one op per instruction, still
+vectorised within the instruction) so the hook keeps firing after every
+instruction with identical dense views.
 
 The sampler returns :class:`PackedDetectorSamples`, which keeps the packed
 rows and offers
 
-* dense compatibility views (``.detectors`` / ``.observables``) matching
+* dense compatibility copies (``.detectors`` / ``.observables``) matching
   :class:`~repro.stabilizer.frame.DetectorSamples`, so existing callers keep
   working, and
 * *sparse syndrome extraction* (:meth:`PackedDetectorSamples.fired_detectors`
@@ -28,11 +64,11 @@ rows and offers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .bitpack import WORD_BITS, num_words, pack_bits, unpack_bits
+from .bitpack import WORD_BITS, num_words, pack_rows, unpack_bits
 from .circuit import Circuit
 from .frame import DetectorSamples
 
@@ -65,17 +101,21 @@ class PackedDetectorSamples:
     def num_observables(self) -> int:
         return int(self.observables_packed.shape[0])
 
-    # -- dense compatibility views -------------------------------------
+    # -- dense compatibility copies ------------------------------------
     @property
     def detectors(self) -> np.ndarray:
-        """Dense ``(shots, num_detectors)`` boolean view (unpacks on demand)."""
+        """Dense ``(shots, num_detectors)`` boolean copy (unpacked on demand).
+
+        A fresh array per access — mutating it never touches the packed
+        rows, so cache it if you read it in a loop.
+        """
         if self.num_detectors == 0:
             return np.zeros((self.num_shots, 0), dtype=bool)
         return unpack_bits(self.detectors_packed, self.num_shots).T.copy()
 
     @property
     def observables(self) -> np.ndarray:
-        """Dense ``(shots, num_observables)`` boolean view."""
+        """Dense ``(shots, num_observables)`` boolean copy (unpacked on demand)."""
         if self.num_observables == 0:
             return np.zeros((self.num_shots, 0), dtype=bool)
         return unpack_bits(self.observables_packed, self.num_shots).T.copy()
@@ -131,6 +171,234 @@ class PackedDetectorSamples:
         return self._sparse_rows(self.observables_packed, start, stop)
 
 
+# ----------------------------------------------------------------------
+# Compiled program
+# ----------------------------------------------------------------------
+# An op is (kind, first_instruction_index, data).  In the fused program one
+# op may cover a run of consecutive same-channel instructions; the stepwise
+# program (used when a trace hook is installed) has exactly one op per
+# instruction so the hook contract is preserved.
+
+# Instruction families whose consecutive runs may fuse into one op without
+# changing RNG draw order or frame semantics (all are either draw-free and
+# idempotent/parity-reducible, or pure XOR scatters of fresh variates).
+_FUSABLE = frozenset({
+    "RESET", "H", "S", "M", "MX", "MR", "DETECTOR",
+    "X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1", "DEPOLARIZE2",
+})
+
+# Cap on the float64 scratch of one noise-draw block.  Fused ops covering
+# hundreds of targets at tens of thousands of shots would otherwise
+# materialise ~100MB temporaries per op and lose to cache misses what they
+# won in dispatch.
+_BLOCK_BYTES = 8 << 20
+
+# Depolarizing channels whose probabilities never exceed this use the
+# sparse flip strategy (hit words -> lane indices -> per-lane Pauli choice
+# -> per-bit XOR scatter); denser channels compute the Pauli choice on
+# every lane and pack whole rows.  Both strategies are bit-exact.
+_SPARSE_P_MAX = 0.02
+
+
+def _row_blocks(rows: int, shots: int):
+    """Split ``rows`` draw rows into blocks of bounded float64 footprint."""
+    step = max(1, _BLOCK_BYTES // max(shots * 8, 1))
+    return ((s, min(s + step, rows)) for s in range(0, rows, step))
+
+
+def _fuse_key(name: str) -> str:
+    # R and RX clear both frame components identically, so they fuse as one
+    # family.
+    return "RESET" if name in ("R", "RX") else name
+
+
+def _idx(values: Sequence[int]) -> np.ndarray:
+    return np.asarray(list(values), dtype=np.intp)
+
+
+def _has_dup(arr: np.ndarray) -> bool:
+    return arr.size != np.unique(arr).size
+
+
+def _pair_groups(pairs: List[Tuple[int, int]]) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split an ordered pair list into hazard-free fancy-index groups.
+
+    Within a group every qubit appears at most once, so gathering all reads
+    before scattering all writes reproduces the sequential per-pair update;
+    a chained pair (reusing a qubit of an earlier pair) starts a new group.
+    """
+    groups: List[Tuple[np.ndarray, np.ndarray]] = []
+    left: List[int] = []
+    right: List[int] = []
+    used: set = set()
+    for a, b in pairs:
+        if a in used or b in used:
+            groups.append((_idx(left), _idx(right)))
+            left, right, used = [], [], set()
+        left.append(a)
+        right.append(b)
+        used.add(a)
+        used.add(b)
+    if left:
+        groups.append((_idx(left), _idx(right)))
+    return groups
+
+
+def _odd_multiplicity(targets: List[int]) -> np.ndarray:
+    """Targets appearing an odd number of times (even repeats cancel)."""
+    arr = _idx(targets)
+    qs, counts = np.unique(arr, return_counts=True)
+    return qs[counts % 2 == 1]
+
+
+# Op kinds that consume RNG rows (used to size the shared draw scratch).
+_DRAW_KINDS = frozenset({"m", "mx", "xerr", "zerr", "yerr", "dep1", "dep2"})
+
+
+def _compile_program(circuit: Circuit, fuse: bool) -> Tuple[List[Tuple[str, int, tuple]], int]:
+    """Lower the circuit to vectorised ops (index arrays resolved once).
+
+    Returns ``(ops, max_draw_rows)`` where ``max_draw_rows`` is the largest
+    number of RNG rows any single op draws — the scratch-buffer bound.
+    """
+    insts = circuit.instructions
+    ops: List[Tuple[str, int, tuple]] = []
+    m_idx = 0
+    d_idx = 0
+    i = 0
+    n = len(insts)
+    while i < n:
+        name = insts[i].name
+        key = _fuse_key(name)
+        j = i + 1
+        if fuse and key in _FUSABLE:
+            while j < n and _fuse_key(insts[j].name) == key:
+                j += 1
+        group = insts[i:j]
+        targets = [q for inst in group for q in inst.targets]
+
+        if key in ("CX", "CZ"):
+            pairs = group[0].target_pairs()
+            ops.append(("nop", i, ()) if not pairs
+                       else (key.lower(), i, (_pair_groups(pairs),)))
+        elif key == "H":
+            odd = _odd_multiplicity(targets)
+            ops.append(("h", i, (odd,)) if odd.size else ("nop", i, ()))
+        elif key == "S":
+            odd = _odd_multiplicity(targets)
+            ops.append(("s", i, (odd,)) if odd.size else ("nop", i, ()))
+        elif key == "RESET":
+            ops.append(("reset", i, (np.unique(_idx(targets)),)) if targets
+                       else ("nop", i, ()))
+        elif key in ("M", "MX"):
+            k = len(targets)
+            if k:
+                tgt = _idx(targets)
+                ops.append((key.lower(), i, (tgt, m_idx, _has_dup(tgt))))
+            else:
+                ops.append(("nop", i, ()))
+            m_idx += k
+        elif key == "MR":
+            k = len(targets)
+            if not k:
+                ops.append(("nop", i, ()))
+            elif len(set(targets)) != k:
+                # A repeated qubit must observe its own reset mid-run; keep
+                # the sequential semantics for this (pathological) shape.
+                ops.append(("mr_seq", i, (tuple(targets), m_idx)))
+            else:
+                ops.append(("mr", i, (_idx(targets), m_idx)))
+            m_idx += k
+        elif key in ("X_ERROR", "Z_ERROR", "Y_ERROR", "DEPOLARIZE1"):
+            if targets:
+                tgt = _idx(targets)
+                pflat = np.array([inst.arg for inst in group
+                                  for _ in inst.targets], dtype=np.float64)
+                kind = {"X_ERROR": "xerr", "Z_ERROR": "zerr",
+                        "Y_ERROR": "yerr", "DEPOLARIZE1": "dep1"}[key]
+                data = (tgt, pflat, _has_dup(tgt))
+                if kind == "dep1":
+                    data += (float(pflat.max()) <= _SPARSE_P_MAX,)
+                ops.append((kind, i, data))
+            else:
+                ops.append(("nop", i, ()))
+        elif key == "DEPOLARIZE2":
+            pairs = [(a, b) for inst in group for a, b in inst.target_pairs()]
+            if pairs:
+                a_arr = _idx([a for a, _ in pairs])
+                b_arr = _idx([b for _, b in pairs])
+                pflat = np.array([inst.arg for inst in group
+                                  for _ in inst.target_pairs()], dtype=np.float64)
+                ops.append(("dep2", i, (a_arr, b_arr, pflat,
+                                        _has_dup(a_arr), _has_dup(b_arr),
+                                        float(pflat.max()) <= _SPARSE_P_MAX)))
+            else:
+                ops.append(("nop", i, ()))
+        elif key == "DETECTOR":
+            rows: List[int] = []
+            flat: List[int] = []
+            offsets: List[int] = []
+            for off, inst in enumerate(group):
+                if inst.targets:  # empty detectors keep their all-zero row
+                    rows.append(d_idx + off)
+                    offsets.append(len(flat))
+                    flat.extend(inst.targets)
+            d_idx += len(group)
+            ops.append(("det", i, (_idx(flat), _idx(offsets), _idx(rows)))
+                       if rows else ("nop", i, ()))
+        elif key == "OBSERVABLE_INCLUDE":
+            inst = group[0]
+            ops.append(("obs", i, (_idx(inst.targets), int(inst.arg)))
+                       if inst.targets else ("nop", i, ()))
+        elif key in ("X", "Z", "TICK"):
+            # Deterministic Paulis / time markers: no-ops on the frame.
+            ops.append(("nop", i, ()))
+        else:  # pragma: no cover - circuit validation prevents this
+            raise ValueError(f"unhandled instruction {name}")
+        i = j
+
+    max_draw_rows = max((op[2][0].size for op in ops if op[0] in _DRAW_KINDS),
+                        default=0)
+    return ops, max_draw_rows
+
+
+def _xor_scatter(dest: np.ndarray, idx: np.ndarray, rows: np.ndarray,
+                 dup: bool) -> None:
+    """``dest[idx] ^= rows``, falling back to the unbuffered ufunc when
+    ``idx`` holds duplicates (buffered fancy XOR would drop all but one)."""
+    if dup:
+        np.bitwise_xor.at(dest, idx, rows)
+    else:
+        dest[idx] ^= rows
+
+
+def _scatter_bits(dest: np.ndarray, qubits: np.ndarray, cols: np.ndarray) -> None:
+    """Flip shot-bit ``cols[j]`` of packed row ``qubits[j]`` for every ``j``.
+
+    The sparse-strategy scatter: unbuffered per-lane XOR, so repeated
+    (qubit, shot) flips cancel exactly like sequential mask XORs.
+    """
+    words = cols >> 6
+    bits = np.uint64(1) << (cols & 63).astype(np.uint64)
+    np.bitwise_xor.at(dest, (qubits, words), bits)
+
+
+def _hit_lanes(hit_words: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(row, shot) indices of set bits in packed hit rows, C order.
+
+    Scans at word granularity (64 lanes per element) and expands only the
+    hit words to bit positions — the low-p fast path that replaces a
+    ``nonzero`` pass over the full boolean mask.
+    """
+    wr, wc = np.nonzero(hit_words)
+    if not wr.size:
+        return wr, wc
+    bits = np.unpackbits(hit_words[wr, wc].view(np.uint8).reshape(-1, 8),
+                         axis=1, bitorder="little")
+    sel, bitpos = np.nonzero(bits)
+    return wr[sel], wc[sel] * WORD_BITS + bitpos
+
+
 class PackedFrameSimulator:
     """Samples detector/observable flips on a bit-packed Pauli frame."""
 
@@ -138,124 +406,201 @@ class PackedFrameSimulator:
         circuit.validate()
         self.circuit = circuit
         self.rng = np.random.default_rng(seed)
+        # fuse(bool) -> (ops, max_draw_rows); the fused program runs the
+        # no-trace hot path, the stepwise one preserves the per-instruction
+        # trace contract.
+        self._programs: dict = {}
+
+    def _program(self, fuse: bool) -> Tuple[List[Tuple[str, int, tuple]], int]:
+        prog = self._programs.get(fuse)
+        if prog is None:
+            prog = _compile_program(self.circuit, fuse)
+            self._programs[fuse] = prog
+        return prog
+
+    def reseed(self, seed=None) -> "PackedFrameSimulator":
+        """Replace the RNG stream, keeping the compiled program warm.
+
+        ``sim.reseed(s).sample(n)`` is bit-identical to
+        ``PackedFrameSimulator(circuit, seed=s).sample(n)`` without paying
+        validation + compilation again — what the decoding pipeline uses to
+        run one warm simulator across shards and scheduler waves.
+        """
+        self.rng = np.random.default_rng(seed)
+        return self
 
     # ------------------------------------------------------------------
     def sample(self, shots: int, *, trace: Optional[TraceHook] = None) -> PackedDetectorSamples:
         """Run ``shots`` Monte-Carlo samples; bit-identical to the unpacked
-        :meth:`FrameSimulator.sample` for the same seed."""
-        if shots <= 0:
-            raise ValueError("shots must be positive")
-        circuit = self.circuit
-        n = circuit.num_qubits
-        rng = self.rng
-        nw = num_words(shots)
+        :meth:`FrameSimulator.sample` for the same seed.
 
-        x = np.zeros((n, nw), dtype=np.uint64)
-        z = np.zeros((n, nw), dtype=np.uint64)
+        ``shots=0`` returns an empty sample without consuming RNG state
+        (engine shard math may legitimately produce zero-shot requests).
+        """
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        circuit = self.circuit
+        nw = num_words(shots)
+        num_obs = circuit.num_observables
+        if shots == 0:
+            return PackedDetectorSamples(
+                detectors_packed=np.zeros((circuit.num_detectors, 0), dtype=np.uint64),
+                observables_packed=np.zeros((num_obs, 0), dtype=np.uint64),
+                num_shots=0,
+            )
+        rng = self.rng
+
+        x = np.zeros((circuit.num_qubits, nw), dtype=np.uint64)
+        z = np.zeros((circuit.num_qubits, nw), dtype=np.uint64)
         meas_flips = np.zeros((circuit.num_measurements, nw), dtype=np.uint64)
         detectors = np.zeros((circuit.num_detectors, nw), dtype=np.uint64)
-        observables = np.zeros((max(circuit.num_observables, 1), nw), dtype=np.uint64)
+        observables = np.zeros((max(num_obs, 1), nw), dtype=np.uint64)
 
-        def draw(p: float) -> np.ndarray:
-            """Sample a packed flip mask; RNG order matches the unpacked sim."""
-            return pack_bits(rng.random(shots) < p)
+        ops, max_draw_rows = self._program(fuse=trace is None)
+        # Shared draw/compare scratch, sized to one row block: reusing the
+        # buffers keeps the hot loop free of multi-MB allocations.
+        buf_rows = min(max_draw_rows,
+                       max(1, _BLOCK_BYTES // max(shots * 8, 1)))
+        rbuf = np.empty((buf_rows, shots)) if max_draw_rows else None
+        hbuf = np.empty((buf_rows, shots), dtype=bool) if max_draw_rows else None
 
-        m_idx = 0
-        d_idx = 0
-        for i_idx, inst in enumerate(circuit.instructions):
-            name = inst.name
-            t = inst.targets
-            if name == "CX":
-                for c, tg in inst.target_pairs():
-                    x[tg] ^= x[c]
-                    z[c] ^= z[tg]
-            elif name == "H":
-                for q in t:
-                    x[q], z[q] = z[q].copy(), x[q].copy()
-            elif name == "CZ":
-                for a, b in inst.target_pairs():
+        insts = circuit.instructions
+        for kind, first, data in ops:
+            if kind == "dep2":
+                a, b, pflat, dup_a, dup_b, sparse = data
+                for i0, i1 in _row_blocks(a.size, shots):
+                    r = rbuf[:i1 - i0]
+                    rng.random(out=r)
+                    hit = np.less(r, pflat[i0:i1, None], out=hbuf[:i1 - i0])
+                    # Uniform over the 15 non-identity two-qubit Paulis,
+                    # encoded base 4 as (pa, pb) with 0=I,1=X,2=Y,3=Z; hit
+                    # lanes reproduce the per-pair scalar arithmetic exactly.
+                    if sparse:
+                        rows_i, cols_i = _hit_lanes(pack_rows(hit))
+                        # The minimum mirrors the reference's np.clip(k, -1,
+                        # 14): a draw within 1 ulp below p can round
+                        # r/(p/15) to exactly 15.0.
+                        code = np.minimum(
+                            (r[rows_i, cols_i]
+                             / (pflat[i0 + rows_i] / 15)).astype(np.int8),
+                            np.int8(14)) + 1
+                        pa = code // 4
+                        pb = code % 4
+                        for dest, q, sel in (
+                            (x, a, (pa == 1) | (pa == 2)),
+                            (z, a, (pa == 2) | (pa == 3)),
+                            (x, b, (pb == 1) | (pb == 2)),
+                            (z, b, (pb == 2) | (pb == 3)),
+                        ):
+                            _scatter_bits(dest, q[i0 + rows_i[sel]], cols_i[sel])
+                    else:
+                        pcol = pflat[i0:i1, None]
+                        scaled = np.zeros_like(r)
+                        np.divide(r, pcol / 15, out=scaled, where=hit)
+                        # np.minimum mirrors the reference's np.clip(k, -1,
+                        # 14) on the 1-ulp-below-p rounding edge.
+                        code = np.where(
+                            hit,
+                            np.minimum(scaled.astype(np.int8), np.int8(14)) + 1,
+                            np.int8(0))
+                        pa = code // 4
+                        pb = code % 4
+                        _xor_scatter(x, a[i0:i1], pack_rows((pa == 1) | (pa == 2)), dup_a)
+                        _xor_scatter(z, a[i0:i1], pack_rows((pa == 2) | (pa == 3)), dup_a)
+                        _xor_scatter(x, b[i0:i1], pack_rows((pb == 1) | (pb == 2)), dup_b)
+                        _xor_scatter(z, b[i0:i1], pack_rows((pb == 2) | (pb == 3)), dup_b)
+            elif kind == "dep1":
+                tgt, pflat, dup, sparse = data
+                for i0, i1 in _row_blocks(tgt.size, shots):
+                    r = rbuf[:i1 - i0]
+                    rng.random(out=r)
+                    # Equal chance p/3 for each of X, Y, Z.
+                    if sparse:
+                        hit = np.less(r, pflat[i0:i1, None], out=hbuf[:i1 - i0])
+                        rows_i, cols_i = _hit_lanes(pack_rows(hit))
+                        rv = r[rows_i, cols_i]
+                        pv = pflat[i0 + rows_i]
+                        is_x = rv < pv / 3
+                        is_y = (rv >= pv / 3) & (rv < 2 * pv / 3)
+                        is_z = rv >= 2 * pv / 3  # rv < pv holds by selection
+                        xf = is_x | is_y
+                        zf = is_z | is_y
+                        _scatter_bits(x, tgt[i0 + rows_i[xf]], cols_i[xf])
+                        _scatter_bits(z, tgt[i0 + rows_i[zf]], cols_i[zf])
+                    else:
+                        pcol = pflat[i0:i1, None]
+                        is_x = r < pcol / 3
+                        is_y = (r >= pcol / 3) & (r < 2 * pcol / 3)
+                        is_z = (r >= 2 * pcol / 3) & (r < pcol)
+                        _xor_scatter(x, tgt[i0:i1], pack_rows(is_x | is_y), dup)
+                        _xor_scatter(z, tgt[i0:i1], pack_rows(is_z | is_y), dup)
+            elif kind in ("xerr", "zerr", "yerr"):
+                # Packed-row XOR is cheap at any density, so Bernoulli
+                # channels always take the dense compare->pack->XOR path.
+                tgt, pflat, dup = data
+                for i0, i1 in _row_blocks(tgt.size, shots):
+                    r = rbuf[:i1 - i0]
+                    rng.random(out=r)
+                    hit = np.less(r, pflat[i0:i1, None], out=hbuf[:i1 - i0])
+                    rows = pack_rows(hit)
+                    if kind != "zerr":
+                        _xor_scatter(x, tgt[i0:i1], rows, dup)
+                    if kind != "xerr":
+                        _xor_scatter(z, tgt[i0:i1], rows, dup)
+            elif kind == "det":
+                flat, offsets, rows = data
+                detectors[rows] = np.bitwise_xor.reduceat(
+                    meas_flips[flat], offsets, axis=0)
+            elif kind == "mr":
+                tgt, m0 = data
+                meas_flips[m0:m0 + tgt.size] = x[tgt]
+                x[tgt] = 0
+                z[tgt] = 0
+            elif kind in ("m", "mx"):
+                tgt, m0, dup = data
+                frame, other = (x, z) if kind == "m" else (z, x)
+                meas_flips[m0:m0 + tgt.size] = frame[tgt]
+                for i0, i1 in _row_blocks(tgt.size, shots):
+                    r = rbuf[:i1 - i0]
+                    rng.random(out=r)
+                    hit = np.less(r, 0.5, out=hbuf[:i1 - i0])
+                    _xor_scatter(other, tgt[i0:i1], pack_rows(hit), dup)
+            elif kind == "cx":
+                for c, t in data[0]:
+                    x[t] ^= x[c]
+                    z[c] ^= z[t]
+            elif kind == "cz":
+                for a, b in data[0]:
                     z[a] ^= x[b]
                     z[b] ^= x[a]
-            elif name == "S":
-                for q in t:
-                    z[q] ^= x[q]
-            elif name in ("X", "Z"):
-                pass
-            elif name in ("R", "RX"):
-                for q in t:
+            elif kind == "h":
+                tgt, = data
+                tmp = x[tgt]  # fancy indexing gathers a copy
+                x[tgt] = z[tgt]
+                z[tgt] = tmp
+            elif kind == "s":
+                tgt, = data
+                z[tgt] ^= x[tgt]
+            elif kind == "reset":
+                tgt, = data
+                x[tgt] = 0
+                z[tgt] = 0
+            elif kind == "mr_seq":
+                tgts, m0 = data
+                for q in tgts:
+                    meas_flips[m0] = x[q]
                     x[q] = 0
                     z[q] = 0
-            elif name == "M":
-                for q in t:
-                    meas_flips[m_idx] = x[q]
-                    z[q] ^= draw(0.5)
-                    m_idx += 1
-            elif name == "MX":
-                for q in t:
-                    meas_flips[m_idx] = z[q]
-                    x[q] ^= draw(0.5)
-                    m_idx += 1
-            elif name == "MR":
-                for q in t:
-                    meas_flips[m_idx] = x[q]
-                    x[q] = 0
-                    z[q] = 0
-                    m_idx += 1
-            elif name == "X_ERROR":
-                for q in t:
-                    x[q] ^= draw(inst.arg)
-            elif name == "Z_ERROR":
-                for q in t:
-                    z[q] ^= draw(inst.arg)
-            elif name == "Y_ERROR":
-                for q in t:
-                    flip = draw(inst.arg)
-                    x[q] ^= flip
-                    z[q] ^= flip
-            elif name == "DEPOLARIZE1":
-                for q in t:
-                    r = rng.random(shots)
-                    p = inst.arg
-                    is_x = r < p / 3
-                    is_y = (r >= p / 3) & (r < 2 * p / 3)
-                    is_z = (r >= 2 * p / 3) & (r < p)
-                    x[q] ^= pack_bits(is_x | is_y)
-                    z[q] ^= pack_bits(is_z | is_y)
-            elif name == "DEPOLARIZE2":
-                for a, b in inst.target_pairs():
-                    r = rng.random(shots)
-                    p = inst.arg
-                    k = np.full(shots, -1, dtype=np.int8)
-                    hit = r < p
-                    k[hit] = (r[hit] / (p / 15)).astype(np.int8)
-                    np.clip(k, -1, 14, out=k)
-                    code = k + 1
-                    pa = code // 4
-                    pb = code % 4
-                    x[a] ^= pack_bits((pa == 1) | (pa == 2))
-                    z[a] ^= pack_bits((pa == 2) | (pa == 3))
-                    x[b] ^= pack_bits((pb == 1) | (pb == 2))
-                    z[b] ^= pack_bits((pb == 2) | (pb == 3))
-            elif name == "DETECTOR":
-                acc = np.zeros(nw, dtype=np.uint64)
-                for mi in t:
-                    acc ^= meas_flips[mi]
-                detectors[d_idx] = acc
-                d_idx += 1
-            elif name == "OBSERVABLE_INCLUDE":
-                obs = int(inst.arg)
-                for mi in t:
-                    observables[obs] ^= meas_flips[mi]
-            elif name == "TICK":
-                pass
-            else:  # pragma: no cover - circuit validation prevents this
-                raise ValueError(f"unhandled instruction {name}")
+                    m0 += 1
+            elif kind == "obs":
+                midx, obs = data
+                observables[obs] ^= np.bitwise_xor.reduce(meas_flips[midx], axis=0)
+            # else "nop": X/Z/TICK and empty-target ops change nothing.
             if trace is not None:
-                trace(i_idx, inst, unpack_bits(x, shots), unpack_bits(z, shots),
+                trace(first, insts[first], unpack_bits(x, shots), unpack_bits(z, shots),
                       unpack_bits(meas_flips, shots) if meas_flips.size
                       else np.zeros((0, shots), dtype=bool))
 
-        num_obs = self.circuit.num_observables
         return PackedDetectorSamples(
             detectors_packed=detectors,
             observables_packed=observables[:num_obs] if num_obs

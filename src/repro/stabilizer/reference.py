@@ -1,0 +1,162 @@
+"""Frozen per-target packed sampler: the pre-vectorisation reference.
+
+This is a verbatim freeze of the ``PackedFrameSimulator.sample`` loop as it
+stood before the vectorised instruction dispatch landed: one Python loop
+iteration — and one ``rng.random(shots)`` draw per noisy target — per qubit
+per instruction.  It exists for the same reason
+:mod:`repro.decoder.reference` does:
+
+* the instruction-level equivalence tests check the vectorised sampler
+  against it (bit-identity, trace by trace), and
+* ``benchmarks/test_sampler_throughput.py`` times it as the per-target
+  baseline, so the vectorised sampler cannot accidentally accelerate its
+  own yardstick.
+
+Do not "improve" this module; its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .bitpack import num_words, pack_bits, unpack_bits
+from .circuit import Circuit
+
+__all__ = ["reference_packed_sample"]
+
+
+def reference_packed_sample(
+    circuit: Circuit,
+    shots: int,
+    seed=None,
+    *,
+    trace=None,
+):
+    """Sample ``shots`` with the frozen per-target packed loop.
+
+    Returns a :class:`~repro.stabilizer.packed.PackedDetectorSamples`;
+    ``trace`` follows the same per-instruction hook contract as the live
+    simulators.
+    """
+    from .packed import PackedDetectorSamples
+
+    circuit.validate()
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    rng = np.random.default_rng(seed)
+    n = circuit.num_qubits
+    nw = num_words(shots)
+
+    x = np.zeros((n, nw), dtype=np.uint64)
+    z = np.zeros((n, nw), dtype=np.uint64)
+    meas_flips = np.zeros((circuit.num_measurements, nw), dtype=np.uint64)
+    detectors = np.zeros((circuit.num_detectors, nw), dtype=np.uint64)
+    observables = np.zeros((max(circuit.num_observables, 1), nw), dtype=np.uint64)
+
+    def draw(p: float) -> np.ndarray:
+        return pack_bits(rng.random(shots) < p)
+
+    m_idx = 0
+    d_idx = 0
+    for i_idx, inst in enumerate(circuit.instructions):
+        name = inst.name
+        t = inst.targets
+        if name == "CX":
+            for c, tg in inst.target_pairs():
+                x[tg] ^= x[c]
+                z[c] ^= z[tg]
+        elif name == "H":
+            for q in t:
+                x[q], z[q] = z[q].copy(), x[q].copy()
+        elif name == "CZ":
+            for a, b in inst.target_pairs():
+                z[a] ^= x[b]
+                z[b] ^= x[a]
+        elif name == "S":
+            for q in t:
+                z[q] ^= x[q]
+        elif name in ("X", "Z"):
+            pass
+        elif name in ("R", "RX"):
+            for q in t:
+                x[q] = 0
+                z[q] = 0
+        elif name == "M":
+            for q in t:
+                meas_flips[m_idx] = x[q]
+                z[q] ^= draw(0.5)
+                m_idx += 1
+        elif name == "MX":
+            for q in t:
+                meas_flips[m_idx] = z[q]
+                x[q] ^= draw(0.5)
+                m_idx += 1
+        elif name == "MR":
+            for q in t:
+                meas_flips[m_idx] = x[q]
+                x[q] = 0
+                z[q] = 0
+                m_idx += 1
+        elif name == "X_ERROR":
+            for q in t:
+                x[q] ^= draw(inst.arg)
+        elif name == "Z_ERROR":
+            for q in t:
+                z[q] ^= draw(inst.arg)
+        elif name == "Y_ERROR":
+            for q in t:
+                flip = draw(inst.arg)
+                x[q] ^= flip
+                z[q] ^= flip
+        elif name == "DEPOLARIZE1":
+            for q in t:
+                r = rng.random(shots)
+                p = inst.arg
+                is_x = r < p / 3
+                is_y = (r >= p / 3) & (r < 2 * p / 3)
+                is_z = (r >= 2 * p / 3) & (r < p)
+                x[q] ^= pack_bits(is_x | is_y)
+                z[q] ^= pack_bits(is_z | is_y)
+        elif name == "DEPOLARIZE2":
+            for a, b in inst.target_pairs():
+                r = rng.random(shots)
+                p = inst.arg
+                k = np.full(shots, -1, dtype=np.int8)
+                hit = r < p
+                k[hit] = (r[hit] / (p / 15)).astype(np.int8)
+                np.clip(k, -1, 14, out=k)
+                code = k + 1
+                pa = code // 4
+                pb = code % 4
+                x[a] ^= pack_bits((pa == 1) | (pa == 2))
+                z[a] ^= pack_bits((pa == 2) | (pa == 3))
+                x[b] ^= pack_bits((pb == 1) | (pb == 2))
+                z[b] ^= pack_bits((pb == 2) | (pb == 3))
+        elif name == "DETECTOR":
+            acc = np.zeros(nw, dtype=np.uint64)
+            for mi in t:
+                acc ^= meas_flips[mi]
+            detectors[d_idx] = acc
+            d_idx += 1
+        elif name == "OBSERVABLE_INCLUDE":
+            obs = int(inst.arg)
+            for mi in t:
+                observables[obs] ^= meas_flips[mi]
+        elif name == "TICK":
+            pass
+        else:  # pragma: no cover - circuit validation prevents this
+            raise ValueError(f"unhandled instruction {name}")
+        if trace is not None:
+            trace(i_idx, inst, unpack_bits(x, shots), unpack_bits(z, shots),
+                  unpack_bits(meas_flips, shots) if meas_flips.size
+                  else np.zeros((0, shots), dtype=bool))
+
+    num_obs = circuit.num_observables
+    return PackedDetectorSamples(
+        detectors_packed=detectors,
+        observables_packed=observables[:num_obs] if num_obs
+        else np.zeros((0, nw), dtype=np.uint64),
+        num_shots=shots,
+    )

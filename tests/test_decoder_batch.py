@@ -182,6 +182,51 @@ class TestDedupMachinery:
         # Decoded once per batch (within-batch dedup still applies).
         assert decoder.decoded_syndromes == 2
 
+    def test_full_memo_evicts_fifo_and_keeps_admitting(self, monkeypatch):
+        # Regression: the memo used to stop admitting entries once full,
+        # degrading a long varied run to a permanently stale cache with
+        # zero admission — recent syndromes could never hit again.
+        monkeypatch.setenv("REPRO_SYNDROME_CACHE", "2")
+        decoder = MwpmDecoder(MatchingGraph(_line_dem()))
+        s1, s2, s3 = (0,), (1,), (2,)
+        decoder.decode_fired(s1)
+        decoder.decode_fired(s2)
+        decoder.decode_fired(s3)            # cap hit: evicts s1 (oldest)
+        assert decoder.decoded_syndromes == 3
+        assert decoder.memo_evictions == 1
+        hits_before = decoder.memo_hits
+        decoder.decode_fired(s3)            # admitted past the cap -> hit
+        decoder.decode_fired(s2)
+        assert decoder.memo_hits == hits_before + 2
+        decoder.decode_fired(s1)            # was evicted -> decoded again
+        assert decoder.decoded_syndromes == 4
+        assert decoder.memo_evictions == 2
+        assert len(decoder._syndrome_memo) == 2
+
+    def test_memo_hits_keep_rising_past_capacity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SYNDROME_CACHE", "4")
+        decoder = MwpmDecoder(MatchingGraph(_line_dem()))
+        for wave in range(6):
+            # A sliding window of distinct syndromes, each seen twice: the
+            # second visit must always hit even though the workload has
+            # cycled far past the cap.
+            syndrome = (wave % 6,)
+            decoder.decode_fired(syndrome)
+            before = decoder.memo_hits
+            decoder.decode_fired(syndrome)
+            assert decoder.memo_hits == before + 1, wave
+
+    def test_predictions_identical_across_evictions(self, monkeypatch):
+        big = MwpmDecoder(MatchingGraph(_line_dem()))   # default-sized memo
+        monkeypatch.setenv("REPRO_SYNDROME_CACHE", "1")
+        tiny = MwpmDecoder(MatchingGraph(_line_dem()))
+        rng = np.random.default_rng(77)
+        dense = rng.random((32, 6)) < 0.25
+        a = tiny.decode_batch(dense)
+        b = big.decode_batch(dense)
+        assert np.array_equal(a.predicted_observables, b.predicted_observables)
+        assert tiny.memo_evictions > 0
+
     def test_sparse_fired_batch_equivalent_to_dense(self):
         decoder_a = MwpmDecoder(MatchingGraph(_line_dem()))
         decoder_b = MwpmDecoder(MatchingGraph(_line_dem()))

@@ -1,0 +1,86 @@
+"""Validated ``REPRO_*`` environment parsing.
+
+One helper (:func:`repro.env.env_int`) backs every integer knob —
+``REPRO_WORKERS``, ``REPRO_SHARD_SIZE``, ``REPRO_CHUNK_SHOTS``,
+``REPRO_SYNDROME_CACHE`` — so garbage and out-of-range values fail fast
+with the variable's name in the message instead of a bare ``int()``
+traceback (or, as ``REPRO_SYNDROME_CACHE`` once did, a silently accepted
+negative limit).
+"""
+
+import pytest
+
+from repro.decoder.base import syndrome_cache_limit
+from repro.engine.executor import EngineConfig
+from repro.engine.pipeline import default_chunk_shots
+from repro.env import env_int
+
+
+class TestEnvInt:
+    def test_missing_and_empty_yield_default(self):
+        assert env_int("REPRO_X", 7, env={}) == 7
+        assert env_int("REPRO_X", 7, env={"REPRO_X": ""}) == 7
+        assert env_int("REPRO_X", 7, env={"REPRO_X": "   "}) == 7
+
+    def test_parses_with_whitespace(self):
+        assert env_int("REPRO_X", 7, env={"REPRO_X": " 42 "}) == 42
+
+    @pytest.mark.parametrize("raw", ["abc", "1.5", "0x10", "1e3", "--2"])
+    def test_garbage_raises_with_variable_name(self, raw):
+        with pytest.raises(ValueError, match="REPRO_X"):
+            env_int("REPRO_X", 7, env={"REPRO_X": raw})
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError, match="REPRO_X must be >= 1"):
+            env_int("REPRO_X", 7, minimum=1, env={"REPRO_X": "0"})
+        with pytest.raises(ValueError, match="REPRO_X must be >= 0"):
+            env_int("REPRO_X", 7, minimum=0, env={"REPRO_X": "-3"})
+        assert env_int("REPRO_X", 7, minimum=0, env={"REPRO_X": "0"}) == 0
+
+    def test_no_minimum_allows_negatives(self):
+        assert env_int("REPRO_X", 7, env={"REPRO_X": "-3"}) == -3
+
+
+class TestSyndromeCacheLimit:
+    def test_default_and_zero(self):
+        assert syndrome_cache_limit(env={}) == 1 << 16
+        assert syndrome_cache_limit(env={"REPRO_SYNDROME_CACHE": "0"}) == 0
+        assert syndrome_cache_limit(env={"REPRO_SYNDROME_CACHE": "128"}) == 128
+
+    def test_negative_rejected(self):
+        # Historically accepted silently and disabled admission forever.
+        with pytest.raises(ValueError, match="REPRO_SYNDROME_CACHE"):
+            syndrome_cache_limit(env={"REPRO_SYNDROME_CACHE": "-1"})
+
+    def test_garbage_rejected_with_name(self):
+        with pytest.raises(ValueError, match="REPRO_SYNDROME_CACHE"):
+            syndrome_cache_limit(env={"REPRO_SYNDROME_CACHE": "lots"})
+
+
+class TestChunkShots:
+    def test_default_and_valid(self):
+        assert default_chunk_shots(env={}) == 1024
+        assert default_chunk_shots(env={"REPRO_CHUNK_SHOTS": "17"}) == 17
+
+    @pytest.mark.parametrize("raw", ["0", "-5", "many"])
+    def test_invalid_rejected_with_name(self, raw):
+        with pytest.raises(ValueError, match="REPRO_CHUNK_SHOTS"):
+            default_chunk_shots(env={"REPRO_CHUNK_SHOTS": raw})
+
+
+class TestEngineConfigFromEnv:
+    def test_defaults(self):
+        assert EngineConfig.from_env({}) == EngineConfig()
+
+    def test_valid_values(self):
+        cfg = EngineConfig.from_env({"REPRO_WORKERS": "3",
+                                     "REPRO_SHARD_SIZE": "99",
+                                     "REPRO_CACHE": "/tmp/x"})
+        assert cfg == EngineConfig(max_workers=3, shard_size=99,
+                                   cache_dir="/tmp/x")
+
+    @pytest.mark.parametrize("var", ["REPRO_WORKERS", "REPRO_SHARD_SIZE"])
+    @pytest.mark.parametrize("raw", ["0", "-2", "four"])
+    def test_invalid_rejected_with_name(self, var, raw):
+        with pytest.raises(ValueError, match=var):
+            EngineConfig.from_env({var: raw})

@@ -22,9 +22,16 @@ def _repetition_circuit(p: float) -> Circuit:
 
 
 class TestBasics:
-    def test_shots_must_be_positive(self):
+    def test_negative_shots_raise(self):
         with pytest.raises(ValueError):
-            FrameSimulator(_repetition_circuit(0.0)).sample(0)
+            FrameSimulator(_repetition_circuit(0.0)).sample(-1)
+
+    def test_zero_shots_yield_empty_sample(self):
+        circuit = _repetition_circuit(0.01)
+        samples = FrameSimulator(circuit, seed=0).sample(0)
+        assert samples.num_shots == 0
+        assert samples.detectors.shape == (0, circuit.num_detectors)
+        assert samples.observables.shape == (0, circuit.num_observables)
 
     def test_zero_noise_gives_zero_detectors(self):
         samples = sample_detectors(_repetition_circuit(0.0), shots=64, seed=0)

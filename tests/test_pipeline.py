@@ -110,10 +110,40 @@ class TestPipelineStats:
         assert 1 <= stats.distinct_syndromes < stats.shots
         assert stats.dedup_factor > 1.0
 
+    def test_sample_decode_time_split(self):
+        circuit = _circuit(p=0.002)
+        pipeline = DecodingPipeline(circuit, _decoder(circuit), chunk_shots=25)
+        stats = pipeline.run(100, seed=13)
+        assert stats.sample_seconds > 0.0
+        assert stats.decode_seconds > 0.0
+        assert 0.0 < stats.sample_fraction < 1.0
+        # The split never affects the numbers.
+        again = DecodingPipeline(circuit, _decoder(circuit),
+                                 chunk_shots=25).run(100, seed=13)
+        assert again.failures == stats.failures
+
     def test_shots_must_be_positive(self):
         circuit = _circuit()
         with pytest.raises(ValueError):
             DecodingPipeline(circuit, _decoder(circuit)).run(0)
+
+
+class TestFixedSeedFailureCounts:
+    """Frozen end-to-end tallies: the vectorised sampler (and any future
+    sampler change) must keep these exact fixed-seed failure counts.
+
+    Captured from the pre-vectorisation pipeline (PR 2) at p=2e-3 with
+    seed 20240427 over 4000 shots.
+    """
+
+    EXPECTED = {3: 28, 5: 6}
+
+    @pytest.mark.parametrize("distance", [3, 5])
+    def test_memory_failure_counts_unchanged(self, distance):
+        circuit = _circuit(distance=distance, p=2e-3, rounds=distance)
+        pipeline = DecodingPipeline(circuit, _decoder(circuit))
+        stats = pipeline.run(4000, seed=20240427)
+        assert stats.failures == self.EXPECTED[distance]
 
 
 class TestEngineIntegration:
