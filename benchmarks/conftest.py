@@ -14,10 +14,17 @@ use the pool only when ``REPRO_WORKERS > 1`` (their serial path keeps the
 legacy sequential RNG stream for seed compatibility).
 """
 
-import numpy as np
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.engine import Engine, EngineConfig, set_default_engine
+
+#: Format version of the BENCH_*.json artifacts; bump when the layout of the
+#: records below changes so downstream diffing tools can tell.
+BENCH_JSON_SCHEMA = 1
 
 
 @pytest.fixture(scope="session")
@@ -44,3 +51,28 @@ def print_series(title: str, rows) -> None:
     print(f"\n=== {title} ===")
     for row in rows:
         print("   ", row)
+
+
+def write_bench_json(name: str, series, **extra) -> Path:
+    """Write a machine-readable ``BENCH_<name>.json`` next to the tee'd text.
+
+    ``series`` is a list of flat dicts (one per measured configuration, with
+    a ``label`` and the shots/sec numbers); ``extra`` lands at the top level
+    (gates, engine knobs, host facts).  The CI benchmark job uploads these
+    files in the BENCH artifact alongside the ``bench-*.txt`` transcripts,
+    so the perf trajectory is diffable across PRs instead of buried in logs.
+    Output directory defaults to the working directory and can be redirected
+    with ``REPRO_BENCH_DIR``.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR") or ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    body = {
+        "schema_version": BENCH_JSON_SCHEMA,
+        "benchmark": name,
+        "series": list(series),
+        **extra,
+    }
+    path.write_text(json.dumps(body, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

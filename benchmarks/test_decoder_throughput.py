@@ -30,7 +30,7 @@ from repro.stabilizer.packed import PackedFrameSimulator
 from repro.surface_code.circuits import build_memory_circuit
 from repro.surface_code.layout import RotatedSurfaceCodeLayout
 
-from conftest import print_series
+from conftest import print_series, write_bench_json
 
 _P = 1e-3
 # Engine-realistic batch sizes (shards at low p run tens of thousands of
@@ -65,6 +65,7 @@ def _circuit_and_detectors(distance, seed):
 
 def test_decoder_throughput(benchmark, benchmark_seed):
     rows = []
+    series = []
     speedups = {}
 
     def run():
@@ -100,10 +101,22 @@ def test_decoder_throughput(benchmark, benchmark_seed):
                              f"batched {batched:9.0f} shots/s, "
                              f"per-shot {baseline:8.0f} shots/s, "
                              f"speedup {speedup:6.1f}x"))
+                series.append({
+                    "label": f"d={distance} {name}",
+                    "distance": distance,
+                    "decoder": name,
+                    "shots": shots,
+                    "batched_shots_per_sec": batched,
+                    "per_shot_shots_per_sec": baseline,
+                    "speedup": speedup,
+                })
         return rows
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     print_series(f"Decoder throughput (p={_P})", rows)
+    write_bench_json("decoder_throughput", series, physical_error_rate=_P,
+                     gates={"d3_mwpm": 5.0, "d5_mwpm": 5.0,
+                            "d5_unionfind": 2.0})
 
     # Acceptance criterion of the batched-decoding PR: >= 5x at p=1e-3.
     assert speedups[(3, "mwpm")] >= 5.0, speedups

@@ -8,8 +8,6 @@ defect rate while the super-stabilizer curves stay within a small factor, and
 the optimal chiplet size moves upward as the defect rate grows.
 """
 
-import math
-
 import pytest
 
 from repro.experiments.paper import figure12_yield, figure13_yield, figure17_yield

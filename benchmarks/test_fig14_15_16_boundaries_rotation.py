@@ -8,8 +8,6 @@
   improves yield when qubit defects are present.
 """
 
-import pytest
-
 from repro.experiments.paper import (
     figure14_merge_example,
     figure15_boundary,

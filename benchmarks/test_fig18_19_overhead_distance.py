@@ -8,8 +8,6 @@
   the application-fidelity estimates of Tables 3-4.
 """
 
-import pytest
-
 from repro.experiments.paper import figure18_envelope, figure19_distance_distribution
 from repro.noise.fabrication import LINK_AND_QUBIT, LINK_ONLY
 

@@ -41,7 +41,7 @@ from repro.stabilizer.reference import reference_packed_sample
 from repro.surface_code.circuits import build_memory_circuit
 from repro.surface_code.layout import RotatedSurfaceCodeLayout
 
-from conftest import print_series
+from conftest import print_series, write_bench_json
 
 _P = 1e-3
 _DISTANCE = 5
@@ -63,6 +63,7 @@ def test_sampler_throughput(benchmark, benchmark_seed):
     patch = adapt_patch(RotatedSurfaceCodeLayout(_DISTANCE), DefectSet.of())
     circuit = build_memory_circuit(patch, CircuitNoiseModel.standard(_P), _DISTANCE)
     rows = []
+    series = []
     ratios = {}
 
     def run():
@@ -80,6 +81,14 @@ def test_sampler_throughput(benchmark, benchmark_seed):
                          f"vectorised {vec:9.0f} shots/s, "
                          f"per-target {ref:9.0f} shots/s, "
                          f"speedup {vec / ref:5.1f}x"))
+            series.append({
+                "label": f"d={_DISTANCE} shots={shots}",
+                "distance": _DISTANCE,
+                "shots": shots,
+                "vectorised_shots_per_sec": vec,
+                "per_target_shots_per_sec": ref,
+                "speedup": vec / ref,
+            })
 
         # Sample-vs-decode wall-clock split of one warm pipeline shard.
         dem = build_detector_error_model(circuit)
@@ -90,10 +99,21 @@ def test_sampler_throughput(benchmark, benchmark_seed):
                      f"sample {stats.sample_seconds * 1e3:6.1f}ms, "
                      f"decode {stats.decode_seconds * 1e3:6.1f}ms, "
                      f"sample share {stats.sample_fraction:5.1%}"))
+        series.append({
+            "label": f"pipeline split d={_DISTANCE}",
+            "distance": _DISTANCE,
+            "shots": _GATE_SHOTS,
+            "pipeline_shots_per_sec": stats.shots_per_second,
+            "sample_seconds": stats.sample_seconds,
+            "decode_seconds": stats.decode_seconds,
+            "sample_fraction": stats.sample_fraction,
+        })
         return rows
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     print_series(f"Sampler throughput (p={_P})", rows)
+    write_bench_json("sampler_throughput", series, physical_error_rate=_P,
+                     gates={"shard_size_speedup": _GATE_RATIO})
 
     # Acceptance criterion of the vectorised-sampler PR: a measured speedup
     # over the frozen per-target sampler at d=5, gated at shard size.

@@ -21,7 +21,7 @@ standard 4 = (b)+(d), matching Fig. 15.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core.patch import AdaptedPatch
 from ..surface_code.layout import Coord

@@ -17,7 +17,7 @@ same batched hot path every LER driver uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from ..core.postselection import DistanceCriterion
 from ..engine.rng import Seed, child_stream

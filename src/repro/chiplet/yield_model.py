@@ -12,19 +12,25 @@ measure the logical performance of accepted chiplets (the slope study, the
 cutoff sweep, the LER benchmarks) hand the sampled patches to
 :class:`~repro.engine.tasks.LerPointTask` cells, which decode on the
 engine's fused :class:`~repro.engine.pipeline.DecodingPipeline`.
+
+Engine-routed runs go through a frozen :class:`~repro.engine.tasks.YieldTask`
+spec whenever the estimator's criterion and boundary standard are the repo's
+own types, which buys yield sweeps the same sharded fan-out *and*
+content-addressed on-disk caching that LER tasks enjoy; estimators carrying
+custom criterion objects fall back to the direct (un-cached) block fan-out.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..analysis.stats import BinomialEstimate
-from ..core.metrics import PatchMetrics
-from ..core.postselection import DefectFreeCriterion, PostSelectionCriterion
+from ..core.postselection import PostSelectionCriterion
 from ..engine.rng import Seed, child_stream, from_fingerprint, seed_fingerprint
+from ..engine.tasks import YieldTask
 from ..noise.fabrication import DefectModel
 from ..surface_code.layout import RotatedSurfaceCodeLayout
 from .architecture import Chiplet
@@ -44,6 +50,7 @@ class YieldResult:
     accepted: int
     distance_counts: Dict[int, int] = field(default_factory=dict)
     accepted_distance_counts: Dict[int, int] = field(default_factory=dict)
+    from_cache: bool = False
 
     @property
     def yield_fraction(self) -> float:
@@ -104,10 +111,22 @@ class YieldEstimator:
         process pool; counts merge by plain summation, so engine results are
         identical for any worker count (but differ from the legacy stream
         split, much like the multi-shard LER path).
+
+        Engine runs route through a frozen :class:`YieldTask` whenever the
+        criterion/boundary are representable, so seeded sweeps additionally
+        hit the engine's on-disk result cache; the direct block fan-out
+        below is the (bit-identical) fallback for custom criterion objects.
         """
         if samples <= 0:
             raise ValueError("samples must be positive")
         if engine is not None:
+            task = YieldTask.from_estimator(self, samples)
+            if task is not None:
+                return engine.run_yield(task, seed=self.seed)
+            # Unrepresentable spec: the direct block fan-out keeps the same
+            # stateless per-index child streams as the task route (repeated
+            # calls are idempotent, unlike the legacy loop's mutable rng),
+            # it just cannot be cached.
             return self._run_engine(samples, engine)
         accepted = 0
         distance_counts: Dict[int, int] = {}
@@ -131,26 +150,12 @@ class YieldEstimator:
     def _run_engine(self, samples: int, engine) -> YieldResult:
         """Fan sample blocks out over the engine's worker pool and merge."""
         fp = seed_fingerprint(self.seed)
-        workers = max(1, engine.config.max_workers)
-        block = max(1, -(-samples // (4 * workers)))
-        jobs = []
-        start = 0
-        while start < samples:
-            stop = min(start + block, samples)
-            jobs.append((self.chiplet_size, self.defect_model, self.criterion,
-                         self.allow_rotation, self.boundary_standard,
-                         fp, start, stop))
-            start = stop
-        accepted = 0
-        distance_counts: Dict[int, int] = {}
-        accepted_counts: Dict[int, int] = {}
-        for block_accepted, block_dist, block_acc in engine.starmap(
-                _evaluate_yield_block, jobs):
-            accepted += block_accepted
-            for d, c in block_dist.items():
-                distance_counts[d] = distance_counts.get(d, 0) + c
-            for d, c in block_acc.items():
-                accepted_counts[d] = accepted_counts.get(d, 0) + c
+        jobs = [(self.chiplet_size, self.defect_model, self.criterion,
+                 self.allow_rotation, self.boundary_standard, fp, start, stop)
+                for start, stop in yield_block_ranges(
+                    samples, engine.config.max_workers)]
+        accepted, distance_counts, accepted_counts = merge_yield_blocks(
+            engine.starmap(_evaluate_yield_block, jobs))
         return YieldResult(
             chiplet_size=self.chiplet_size,
             defect_rate=self.defect_model.rate,
@@ -160,6 +165,37 @@ class YieldEstimator:
             distance_counts=distance_counts,
             accepted_distance_counts=accepted_counts,
         )
+
+
+def yield_block_ranges(samples: int, max_workers: int):
+    """Contiguous (start, stop) sample blocks for one yield run.
+
+    Purely a throughput knob (sized so one round of blocks splits across
+    the pool): per-index RNG streams make the partition invisible in the
+    counts.  Shared by the task-routed path (``Engine.run_yield``) and the
+    direct fallback (:meth:`YieldEstimator._run_engine`).
+    """
+    workers = max(1, max_workers)
+    block = max(1, -(-samples // (4 * workers)))
+    start = 0
+    while start < samples:
+        stop = min(start + block, samples)
+        yield start, stop
+        start = stop
+
+
+def merge_yield_blocks(outs) -> tuple:
+    """Sum per-block (accepted, distance counts, accepted counts) triples."""
+    accepted = 0
+    distance_counts: Dict[int, int] = {}
+    accepted_counts: Dict[int, int] = {}
+    for block_accepted, block_dist, block_acc in outs:
+        accepted += block_accepted
+        for d, c in block_dist.items():
+            distance_counts[d] = distance_counts.get(d, 0) + c
+        for d, c in block_acc.items():
+            accepted_counts[d] = accepted_counts.get(d, 0) + c
+    return accepted, distance_counts, accepted_counts
 
 
 def _evaluate_chiplet(

@@ -52,7 +52,7 @@ cluster's diameter in data-qubit units (minimum 1), following Sec. 3.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..noise.fabrication import DefectSet
 from ..surface_code.layout import Check, Coord, RotatedSurfaceCodeLayout

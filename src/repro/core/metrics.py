@@ -25,11 +25,11 @@ disabled qubits, and the raw number of faulty qubits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..surface_code.layout import Coord, plaquette_kind
 from .adaptation import cluster_diameter, defect_clusters
-from .patch import AdaptedPatch, StabilizerUnit
+from .patch import AdaptedPatch
 
 __all__ = [
     "ChainGraph",

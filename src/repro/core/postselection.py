@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from ..noise.fabrication import DefectSet
 from ..surface_code.layout import RotatedSurfaceCodeLayout

@@ -34,7 +34,7 @@ from typing import Dict, FrozenSet, List, Set, Tuple
 
 import networkx as nx
 
-from .base import BatchDecoderBase, DecodeResult
+from .base import BatchDecoderBase
 from .matching import MatchingGraph
 from ..stabilizer.dem import DetectorErrorModel
 

@@ -31,6 +31,7 @@ from .executor import (
     Engine,
     EngineConfig,
     LerResult,
+    SweepItem,
     default_engine,
     set_default_engine,
 )
@@ -43,6 +44,7 @@ from .tasks import (
     NoiseSpec,
     PatchSampleTask,
     TaskSpec,
+    YieldTask,
 )
 
 __all__ = [
@@ -52,6 +54,7 @@ __all__ = [
     "Engine",
     "EngineConfig",
     "LerResult",
+    "SweepItem",
     "default_engine",
     "set_default_engine",
     "ResultCache",
@@ -68,4 +71,5 @@ __all__ = [
     "NoiseSpec",
     "PatchSampleTask",
     "TaskSpec",
+    "YieldTask",
 ]

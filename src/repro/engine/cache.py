@@ -93,6 +93,10 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
+    def __contains__(self, key: str) -> bool:
+        """True when a *readable, schema-current* record exists for ``key``."""
+        return self.get(key) is not None
+
     def clear(self) -> int:
         """Remove every entry; returns the number removed."""
         removed = 0

@@ -27,7 +27,7 @@ from __future__ import annotations
 import atexit
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,11 +43,12 @@ from .cache import ResultCache
 from .pipeline import DecodingPipeline
 from .rng import Seed, as_seed_sequence, child_stream, from_fingerprint, seed_fingerprint
 from .scheduler import ShotPolicy, ShotScheduler
-from .tasks import LerPointTask, PatchSampleTask, canonical_json
+from .tasks import LerPointTask, PatchSampleTask, YieldTask, canonical_json
 
 __all__ = [
     "EngineConfig",
     "LerResult",
+    "SweepItem",
     "Engine",
     "default_engine",
     "set_default_engine",
@@ -136,11 +137,97 @@ class LerResult:
         )
 
 
+@dataclass(frozen=True)
+class SweepItem:
+    """One (task, shot policy, seed) cell of a sweep.
+
+    ``Engine.run_sweep`` schedules every pending item's shards into one pool,
+    so cells with different policies (adaptive waves next to fixed budgets)
+    overlap instead of draining one task at a time.  The seed is the item's
+    *own* root: callers splitting a sweep from a single user seed derive one
+    child stream per item (see :meth:`Engine.run_ler_many`).
+    """
+
+    task: LerPointTask
+    policy: ShotPolicy
+    seed: Seed = None
+
+
+class _SweepTaskRun:
+    """Mutable progress of one sweep item while its shards are in flight.
+
+    Shard seeds and wave bookkeeping reproduce ``Engine._run_ler_live``
+    exactly: shard ``i`` draws child stream ``i`` of the item seed (or the
+    raw seed for a legacy single-shard fixed run), and the scheduler only
+    sees *merged* statistics of complete waves, so the shard plan — and the
+    result — is independent of completion order and worker count.
+    """
+
+    def __init__(self, index: int, item: SweepItem, shard_size: int):
+        self.index = index
+        self.item = item
+        self.sched = ShotScheduler(item.policy, shard_size)
+        self.root = as_seed_sequence(item.seed)
+        self.single_shard = (not item.policy.is_adaptive
+                             and item.policy.max_shots <= shard_size)
+        self.key: Optional[str] = None
+        self.failures = 0
+        self.num_shards = 0
+        self.num_detectors = 0
+        self.num_dem = 0
+        self.wave_shards: List[Tuple[int, int]] = []
+        self.wave_outs: List[Optional[Tuple[int, int, int]]] = []
+        self.wave_pending = 0
+
+    def shard_seed(self, shard_index: int) -> Seed:
+        if self.single_shard:
+            return self.item.seed
+        return child_stream(self.root, shard_index)
+
+    def begin_wave(self, wave: List[Tuple[int, int]]) -> None:
+        self.wave_shards = wave
+        self.wave_outs = [None] * len(wave)
+        self.wave_pending = len(wave)
+
+    def complete_slot(self, slot: int, out: Tuple[int, int, int]) -> bool:
+        """Record one shard result; True when the whole wave has landed."""
+        self.wave_outs[slot] = out
+        self.wave_pending -= 1
+        return self.wave_pending == 0
+
+    def merge_wave(self) -> None:
+        outs = self.wave_outs
+        wave_failures = sum(o[0] for o in outs)
+        self.num_detectors, self.num_dem = outs[0][1], outs[0][2]
+        self.failures += wave_failures
+        self.num_shards += len(outs)
+        self.sched.record(wave_failures,
+                          sum(n for _, n in self.wave_shards))
+
+    def result(self) -> LerResult:
+        return LerResult(task=self.item.task, failures=self.failures,
+                         shots=self.sched.shots_done,
+                         num_detectors=self.num_detectors,
+                         num_dem_errors=self.num_dem,
+                         num_shards=self.num_shards)
+
+
 # ----------------------------------------------------------------------
 # Worker-side execution (top-level so ProcessPoolExecutor can pickle it)
 # ----------------------------------------------------------------------
-_MEMO_LIMIT = 8
 _TASK_MEMO: Dict[str, tuple] = {}
+
+
+def _task_memo_limit(env=None) -> int:
+    """Warm task contexts kept per worker (``REPRO_TASK_MEMO``, default 16).
+
+    Cross-task interleaving rotates shards of every pending sweep task
+    through each worker, so the memo must hold at least as many contexts as
+    the sweep has concurrent tasks — otherwise every shard rebuilds the
+    circuit/DEM/decoder it just evicted.  Raise this for very large sweeps
+    (cost is memory per worker process: one pipeline + caches per entry).
+    """
+    return env_int("REPRO_TASK_MEMO", 16, minimum=1, env=env)
 
 
 def _context_for(task: LerPointTask) -> tuple:
@@ -148,10 +235,11 @@ def _context_for(task: LerPointTask) -> tuple:
 
     The pipeline carries the circuit, the decoder and its geodesic/syndrome
     caches, keyed by the task's DEM-determining content hash; scheduler waves
-    that re-enter the same task decode against warm caches.
+    that re-enter the same task decode against warm caches.  The memo is
+    LRU-bounded by :func:`_task_memo_limit`.
     """
     key = task.content_hash()
-    ctx = _TASK_MEMO.get(key)
+    ctx = _TASK_MEMO.pop(key, None)
     if ctx is None:
         circuit = task.build_circuit()
         dem = build_detector_error_model(circuit)
@@ -161,9 +249,10 @@ def _context_for(task: LerPointTask) -> tuple:
         else:
             decoder = UnionFindDecoder(graph)
         ctx = (DecodingPipeline(circuit, decoder), len(dem))
-        if len(_TASK_MEMO) >= _MEMO_LIMIT:
+        limit = _task_memo_limit()
+        while len(_TASK_MEMO) >= limit:
             _TASK_MEMO.pop(next(iter(_TASK_MEMO)))
-        _TASK_MEMO[key] = ctx
+    _TASK_MEMO[key] = ctx  # (re-)insert at the recent end
     return ctx
 
 
@@ -204,6 +293,34 @@ def _run_patch_attempts(task: PatchSampleTask, root_fp, start: int, stop: int) -
                          sorted((tuple(a), tuple(b))
                                 for a, b in defects.faulty_links)))
     return accepted
+
+
+def _run_yield_block(task: YieldTask, root_fp, start: int, stop: int) -> tuple:
+    """Evaluate yield sample indices [start, stop); return merged counts.
+
+    Thin task-unpacking shim over
+    :func:`repro.chiplet.yield_model._evaluate_yield_block`, so the
+    per-index RNG-stream contract (sample ``i`` draws child stream ``i`` of
+    the root fingerprint) lives in exactly one place and the task-routed
+    path can never drift from the estimator's direct fallback.
+    """
+    from ..chiplet.yield_model import _evaluate_yield_block
+
+    return _evaluate_yield_block(task.chiplet_size, task.defect_model(),
+                                 task.criterion(), task.allow_rotation,
+                                 task.boundary_standard(), root_fp,
+                                 start, stop)
+
+
+def _seeded_task_key(task, fp) -> str:
+    """Cache key for runs fully determined by (task, seed fingerprint).
+
+    Used by the yield and patch-sample paths, whose results depend on no
+    other execution knob; LER keys additionally cover policy and shard size
+    (:meth:`Engine._cache_key`).
+    """
+    body = {"task": task.content_hash(), "seed": [list(fp[0]), list(fp[1])]}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
 
 
 def _ler_cache_record(task: LerPointTask, result: "LerResult") -> dict:
@@ -286,7 +403,14 @@ class Engine:
             return [fn(*job) for job in jobs]
         pool = _get_pool(self.config.max_workers)
         futures = [pool.submit(fn, *job) for job in jobs]
-        return [f.result() for f in futures]
+        try:
+            return [f.result() for f in futures]
+        except BaseException:
+            # A failing shard must not strand the rest of the batch on the
+            # pool: cancel whatever has not started yet before re-raising.
+            for f in futures:
+                f.cancel()
+            raise
 
     # ------------------------------------------------------------------
     # LER tasks
@@ -304,15 +428,7 @@ class Engine:
         Exactly one of ``shots`` (fixed budget) or ``policy`` must be given.
         """
         policy = self._resolve_policy(shots, policy)
-        key = self._cache_key(task, seed, policy) if self._cache is not None else None
-        if key is not None:
-            hit = self._load_cached_ler(task, key)
-            if hit is not None:
-                return hit
-        result = self._run_ler_live(task, policy, seed)
-        if key is not None:
-            self._cache.put(key, _ler_cache_record(task, result))
-        return result
+        return self.run_sweep([SweepItem(task, policy, seed)])[0]
 
     def run_ler_many(
         self,
@@ -324,9 +440,10 @@ class Engine:
     ) -> List[LerResult]:
         """Run a batch of LER tasks; task ``i`` uses RNG child stream ``i``.
 
-        Single-shard fixed-policy batches (the common laptop-scale sweep) are
-        fanned out across the pool at *task* granularity, so curves
-        parallelise even when each point fits in one shard.
+        The whole batch is one sweep: shards of *all* tasks are planned by
+        per-task schedulers and interleaved into one pool submission, so an
+        adaptive task draining its last wave no longer idles the workers
+        that could already be running the next task's shards.
         """
         policy = self._resolve_policy(shots, policy)
         if seed is None:
@@ -337,35 +454,106 @@ class Engine:
         else:
             root = as_seed_sequence(seed)
             seeds = [child_stream(root, i) for i in range(len(tasks))]
+        return self.run_sweep([SweepItem(task, policy, s)
+                               for task, s in zip(tasks, seeds)])
 
-        single_shard = (not policy.is_adaptive
-                        and policy.max_shots <= self.config.shard_size)
-        if not single_shard:
-            return [self.run_ler(task, policy=policy, seed=s)
-                    for task, s in zip(tasks, seeds)]
+    # ------------------------------------------------------------------
+    def run_sweep(self, items: Sequence[SweepItem]) -> List[LerResult]:
+        """Run a batch of sweep items with cross-task shard interleaving.
 
-        results: List[Optional[LerResult]] = [None] * len(tasks)
-        pending: List[Tuple[int, Optional[str]]] = []
-        for i, task in enumerate(tasks):
-            key = self._cache_key(task, seeds[i], policy) if self._cache is not None else None
-            hit = self._load_cached_ler(task, key) if key is not None else None
+        Every pending item gets its own :class:`ShotScheduler`; the planned
+        shards of *all* items share one process pool, and completed shards
+        merge back per item under the wave rule (a scheduler only sees the
+        summed statistics of its own complete waves).  Results are therefore
+        **bit-identical to running the items one at a time** — determinism
+        comes from per-item child RNG streams and the wave-merge rule, never
+        from completion order — while adaptive waves of one item overlap
+        with fixed shards of another instead of draining task-by-task.
+
+        Items mix policies freely (the cutoff sweep's fixed cells next to an
+        adaptive low-p point); cache hits are resolved up front and misses
+        are written back per item as each item finishes.
+        """
+        results: List[Optional[LerResult]] = [None] * len(items)
+        runs: List[_SweepTaskRun] = []
+        for i, item in enumerate(items):
+            key = (self._cache_key(item.task, item.seed, item.policy)
+                   if self._cache is not None else None)
+            hit = self._load_cached_ler(item.task, key) if key is not None else None
             if hit is not None:
                 results[i] = hit
-            else:
-                pending.append((i, key))
+                continue
+            run = _SweepTaskRun(i, item, self.config.shard_size)
+            run.key = key
+            runs.append(run)
 
-        outs = self.starmap(
-            _run_ler_shard,
-            [(tasks[i], seeds[i], policy.max_shots) for i, _ in pending],
-        )
-        for (i, key), (failures, num_det, num_dem) in zip(pending, outs):
-            res = LerResult(task=tasks[i], failures=failures,
-                            shots=policy.max_shots, num_detectors=num_det,
-                            num_dem_errors=num_dem, num_shards=1)
-            results[i] = res
-            if key is not None:
-                self._cache.put(key, _ler_cache_record(tasks[i], res))
+        if not runs:
+            return results  # type: ignore[return-value]
+        if self.config.max_workers <= 1:
+            # Serial fallback: the interleaved plan collapses to the exact
+            # task-by-task loop (same shard seeds, same wave merges).
+            for run in runs:
+                result = self._run_ler_live(run.item.task, run.item.policy,
+                                            run.item.seed)
+                self._finish_sweep_run(run, result, results)
+        else:
+            self._run_sweep_pool(runs, results)
         return results  # type: ignore[return-value]
+
+    def _finish_sweep_run(self, run: _SweepTaskRun, result: LerResult,
+                          results: List[Optional[LerResult]]) -> None:
+        results[run.index] = result
+        if run.key is not None:
+            self._cache.put(run.key, _ler_cache_record(run.item.task, result))
+
+    def _run_sweep_pool(self, runs: List[_SweepTaskRun],
+                        results: List[Optional[LerResult]]) -> None:
+        """Interleaved execution: one pool, shards of all runs in flight."""
+        pool = _get_pool(self.config.max_workers)
+        pending: Dict = {}  # Future -> (run, wave slot)
+        unfinished = len(runs)
+
+        def submit_next_wave(run: _SweepTaskRun) -> None:
+            nonlocal unfinished
+            while True:
+                wave = run.sched.next_wave()
+                if not wave:
+                    unfinished -= 1
+                    self._finish_sweep_run(run, run.result(), results)
+                    return
+                if len(wave) == 1 and not pending and unfinished == 1:
+                    # A one-shard wave with nothing to overlap: run it in
+                    # the parent instead of paying pool round-trips (the
+                    # pre-sweep starmap shortcut for single-job waves).
+                    idx, n = wave[0]
+                    run.begin_wave(wave)
+                    run.complete_slot(0, _run_ler_shard(
+                        run.item.task, run.shard_seed(idx), n))
+                    run.merge_wave()
+                    continue
+                run.begin_wave(wave)
+                for slot, (idx, n) in enumerate(wave):
+                    fut = pool.submit(_run_ler_shard, run.item.task,
+                                      run.shard_seed(idx), n)
+                    pending[fut] = (run, slot)
+                return
+
+        try:
+            for run in runs:
+                submit_next_wave(run)
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    run, slot = pending.pop(fut)
+                    if run.complete_slot(slot, fut.result()):
+                        run.merge_wave()
+                        submit_next_wave(run)
+        except BaseException:
+            # A failing shard (or an interrupt) must not strand the other
+            # items' shards on the pool.
+            for fut in pending:
+                fut.cancel()
+            raise
 
     # ------------------------------------------------------------------
     def _resolve_policy(self, shots: Optional[int],
@@ -434,8 +622,7 @@ class Engine:
         fp = seed_fingerprint(seed)
         key = None
         if self._cache is not None and fp is not None:
-            body = {"task": task.content_hash(), "seed": [list(fp[0]), list(fp[1])]}
-            key = hashlib.sha256(canonical_json(body).encode()).hexdigest()
+            key = _seeded_task_key(task, fp)
             record = self._cache.get(key)
             if record is not None and record.get("task_hash") == task.content_hash():
                 try:
@@ -483,6 +670,72 @@ class Engine:
             start = s
         accepted.sort(key=lambda item: item[0])
         return accepted[: task.num_patches]
+
+    # ------------------------------------------------------------------
+    # Yield tasks
+    # ------------------------------------------------------------------
+    def run_yield(self, task: YieldTask, *, seed: Seed = None):
+        """Run a chiplet yield task; returns a :class:`YieldResult`.
+
+        Sample blocks fan out over the worker pool and counts merge by plain
+        summation; because sample ``i`` always draws RNG child stream ``i``
+        of ``seed``, the result is identical for any worker count and block
+        split.  Seeded runs land in the on-disk result cache under the
+        task's content hash, exactly like LER tasks.
+        """
+        from ..chiplet.yield_model import YieldResult
+
+        fp = seed_fingerprint(seed)
+        key = None
+        if self._cache is not None and fp is not None:
+            key = _seeded_task_key(task, fp)
+            record = self._cache.get(key)
+            if record is not None and record.get("task_hash") == task.content_hash():
+                try:
+                    return YieldResult(
+                        chiplet_size=task.chiplet_size,
+                        defect_rate=task.defect_rate,
+                        defect_model_kind=task.defect_model_kind,
+                        samples=int(record["samples"]),
+                        accepted=int(record["accepted"]),
+                        distance_counts={int(d): int(c) for d, c in
+                                         record["distance_counts"].items()},
+                        accepted_distance_counts={int(d): int(c) for d, c in
+                                                  record["accepted_distance_counts"].items()},
+                        from_cache=True,
+                    )
+                except (AttributeError, KeyError, TypeError, ValueError):
+                    pass
+
+        from ..chiplet.yield_model import merge_yield_blocks, yield_block_ranges
+
+        jobs = [(task, fp, start, stop)
+                for start, stop in yield_block_ranges(
+                    task.samples, self.config.max_workers)]
+        accepted, distance_counts, accepted_counts = merge_yield_blocks(
+            self.starmap(_run_yield_block, jobs))
+        result = YieldResult(
+            chiplet_size=task.chiplet_size,
+            defect_rate=task.defect_rate,
+            defect_model_kind=task.defect_model_kind,
+            samples=task.samples,
+            accepted=accepted,
+            distance_counts=distance_counts,
+            accepted_distance_counts=accepted_counts,
+        )
+        if key is not None:
+            self._cache.put(key, {
+                "kind": task.kind,
+                "task_hash": task.content_hash(),
+                "task": task.payload(),
+                "samples": result.samples,
+                "accepted": result.accepted,
+                "distance_counts": {str(d): c for d, c in
+                                    sorted(result.distance_counts.items())},
+                "accepted_distance_counts": {str(d): c for d, c in
+                                             sorted(result.accepted_distance_counts.items())},
+            })
+        return result
 
     @staticmethod
     def _rebuild_patches(task: PatchSampleTask, accepted) -> List[AdaptedPatch]:

@@ -74,6 +74,16 @@ class PipelineStats:
         return self.shots / max(self.distinct_syndromes, 1)
 
     @property
+    def shots_per_second(self) -> float:
+        """End-to-end pipeline throughput over the timed run (0 when untimed).
+
+        This is the per-shard series the BENCH JSON artifacts record, so the
+        sample+decode trajectory is diffable across PRs.
+        """
+        total = self.sample_seconds + self.decode_seconds
+        return self.shots / total if total > 0 else 0.0
+
+    @property
     def sample_fraction(self) -> float:
         """Share of the run's wall-clock spent sampling (0 when untimed).
 

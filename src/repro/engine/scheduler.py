@@ -11,6 +11,13 @@ Determinism: the plan depends only on the policy, the shard size and the
 *merged* statistics after complete waves - never on which worker produced
 which shard - so the sequence of (shard index, shard shots) pairs, and hence
 the result, is identical for any worker count.
+
+The same property is what makes **cross-task interleaving** safe
+(:meth:`repro.engine.executor.Engine.run_sweep`): each task in a sweep owns
+one scheduler, shards of every task share one pool, and because a scheduler
+only ever sees its own task's merged wave statistics, its plan is
+independent of what other tasks are running — interleaving changes
+wall-clock, never numbers.
 """
 
 from __future__ import annotations

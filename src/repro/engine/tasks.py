@@ -23,6 +23,10 @@ Three task kinds cover the repo's Monte-Carlo workloads:
 ``PatchSampleTask``
     A batch of defective-chiplet draws: sample fabrication defects, adapt the
     code, keep patches that stay valid above a minimum distance.
+``YieldTask``
+    A chiplet yield Monte-Carlo (Figs. 12-17): sample defective chiplets and
+    measure the fraction accepted by a post-selection criterion, with the
+    criterion and boundary standard mirrored into primitive fields.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ __all__ = [
     "LerPointTask",
     "CutoffCellTask",
     "PatchSampleTask",
+    "YieldTask",
     "canonical_json",
 ]
 
@@ -305,4 +310,131 @@ class PatchSampleTask(TaskSpec):
             "min_distance": self.min_distance,
             "require_valid": self.require_valid,
             "max_attempts_factor": self.max_attempts_factor,
+        }
+
+
+_CRITERIA = ("distance", "defect_free")
+
+
+@dataclass(frozen=True)
+class YieldTask(TaskSpec):
+    """A chiplet yield Monte-Carlo with post-selection (Figs. 12-17).
+
+    Mirrors a :class:`~repro.chiplet.yield_model.YieldEstimator` run into
+    primitive fields, so yield sweeps shard over the worker pool and land in
+    the content-addressed on-disk cache exactly like LER tasks.  Sample ``i``
+    of the batch always draws RNG child stream ``i`` of the run's root seed,
+    so the counts are identical no matter how samples are blocked across
+    workers.
+
+    Only the repo's own criterion/boundary types are representable
+    (:class:`DistanceCriterion`, :class:`DefectFreeCriterion`,
+    :class:`BoundaryStandard`); estimators carrying custom objects fall back
+    to the un-cached block fan-out (see :meth:`from_estimator`).
+    """
+
+    chiplet_size: int
+    defect_model_kind: str
+    defect_rate: float
+    samples: int
+    criterion_kind: str = "distance"
+    target_distance: Optional[int] = None
+    use_operator_count: bool = True
+    allow_rotation: bool = False
+    #: (name, require_no_deformation, all_edges, target_distance) or None
+    boundary: Optional[Tuple[str, bool, bool, Optional[int]]] = None
+
+    kind = "yield"
+
+    def __post_init__(self) -> None:
+        if self.defect_model_kind not in (LINK_ONLY, LINK_AND_QUBIT):
+            raise ValueError(f"unknown defect model {self.defect_model_kind!r}")
+        if self.samples <= 0:
+            raise ValueError("samples must be positive")
+        if self.criterion_kind not in _CRITERIA:
+            raise ValueError(f"unknown criterion kind {self.criterion_kind!r}")
+        if self.criterion_kind == "distance" and self.target_distance is None:
+            raise ValueError("distance criterion requires target_distance")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_estimator(cls, estimator, samples: int) -> Optional["YieldTask"]:
+        """Primitive spec of a ``YieldEstimator.run(samples)`` call.
+
+        Returns ``None`` when the estimator carries criterion, defect-model
+        or boundary objects the spec cannot represent (custom subclasses
+        would silently change meaning under an exact-type round-trip, so
+        every check is deliberately ``type() is``, not ``isinstance``).
+        """
+        from ..core.postselection import DefectFreeCriterion, DistanceCriterion
+
+        if type(estimator.defect_model) is not DefectModel:
+            return None
+        crit = estimator.criterion
+        if type(crit) is DistanceCriterion:
+            criterion_kind = "distance"
+            target = int(crit.target_distance)
+            use_ops = bool(crit.use_operator_count)
+        elif type(crit) is DefectFreeCriterion:
+            criterion_kind, target, use_ops = "defect_free", None, True
+        else:
+            return None
+        boundary = None
+        std = estimator.boundary_standard
+        if std is not None:
+            from ..chiplet.boundary import BoundaryStandard
+
+            if type(std) is not BoundaryStandard:
+                return None
+            boundary = (std.name, bool(std.require_no_deformation),
+                        bool(std.all_edges),
+                        None if std.target_distance is None
+                        else int(std.target_distance))
+        return cls(
+            chiplet_size=int(estimator.chiplet_size),
+            defect_model_kind=estimator.defect_model.kind,
+            defect_rate=float(estimator.defect_model.rate),
+            samples=int(samples),
+            criterion_kind=criterion_kind,
+            target_distance=target,
+            use_operator_count=use_ops,
+            allow_rotation=bool(estimator.allow_rotation),
+            boundary=boundary,
+        )
+
+    # ------------------------------------------------------------------
+    def layout(self) -> RotatedSurfaceCodeLayout:
+        return RotatedSurfaceCodeLayout(self.chiplet_size)
+
+    def defect_model(self) -> DefectModel:
+        return DefectModel(self.defect_model_kind, self.defect_rate)
+
+    def criterion(self):
+        from ..core.postselection import DefectFreeCriterion, DistanceCriterion
+
+        if self.criterion_kind == "defect_free":
+            return DefectFreeCriterion()
+        return DistanceCriterion(self.target_distance, self.use_operator_count)
+
+    def boundary_standard(self):
+        if self.boundary is None:
+            return None
+        from ..chiplet.boundary import BoundaryStandard
+
+        name, no_deformation, all_edges, target = self.boundary
+        return BoundaryStandard(name, no_deformation, all_edges, target)
+
+    def payload(self) -> dict:
+        return {
+            "chiplet_size": self.chiplet_size,
+            "defect_model_kind": self.defect_model_kind,
+            "defect_rate": self.defect_rate,
+            "samples": self.samples,
+            "criterion": {
+                "kind": self.criterion_kind,
+                "target_distance": self.target_distance,
+                "use_operator_count": self.use_operator_count,
+            },
+            "allow_rotation": self.allow_rotation,
+            "boundary": None if self.boundary is None else list(self.boundary),
         }

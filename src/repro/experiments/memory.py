@@ -145,8 +145,11 @@ def logical_error_rate_curve(
 
     Point ``i`` draws from RNG child stream ``i`` of ``seed``
     (``SeedSequence`` spawning), so each point is independent of how many
-    points the sweep contains and of the executing worker; the engine fans
-    the points out across its process pool.
+    points the sweep contains and of the executing worker.  The engine runs
+    the whole curve as one sweep (:meth:`Engine.run_sweep`): shards of all
+    points — adaptive waves included — are interleaved into one pool, so a
+    point draining its last wave never idles workers another point could
+    use, and the results stay bit-identical to running each point alone.
     """
     tasks = [
         LerPointTask.from_patch("memory", patch, p, rounds=rounds,

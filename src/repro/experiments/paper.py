@@ -27,7 +27,6 @@ Figure/table index
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,14 +36,12 @@ from ..engine.rng import Seed, child_stream, spawn_streams
 from ..chiplet.application import (
     ResourceEstimate,
     ShorWorkload,
-    application_fidelity,
     estimate_defect_intolerant_resources,
     estimate_no_defect_resources,
     estimate_super_stabilizer_resources,
 )
-from ..chiplet.architecture import Chiplet
 from ..chiplet.boundary import STANDARD_1, STANDARD_2, STANDARD_3, STANDARD_4, merged_seam_distance
-from ..chiplet.overhead import OverheadPoint, OverheadStudy, defect_intolerant_overhead, overhead_factor
+from ..chiplet.overhead import OverheadPoint, OverheadStudy, defect_intolerant_overhead
 from ..chiplet.yield_model import YieldEstimator, defect_intolerant_yield
 from ..core.adaptation import adapt_patch
 from ..core.metrics import evaluate_patch
@@ -58,7 +55,7 @@ from ..noise.fabrication import LINK_AND_QUBIT, LINK_ONLY, DefectModel, DefectSe
 from ..surface_code.layout import RotatedSurfaceCodeLayout
 from .cutoff import CutoffStudy, run_cutoff_study
 from .memory import logical_error_rate_curve
-from .slope import PatchSlopeRecord, SlopeStudy, estimate_slope, sample_defective_patches
+from .slope import SlopeStudy, estimate_slope, sample_defective_patches
 
 __all__ = [
     "figure5_to_10_study",
@@ -82,16 +79,23 @@ def _pool_engine(engine: Optional[Engine]) -> Optional[Engine]:
     """Engine to hand to the yield Monte-Carlo paths.
 
     An explicitly passed engine always wins.  Otherwise the env-configured
-    default engine is used only when it actually brings a worker pool:
-    the serial yield path keeps its legacy sequential RNG stream (seed
-    compatibility), whereas the engine path re-keys sample ``i`` to RNG
-    child stream ``i`` — deterministic for any worker count, but a
-    different stream split than the legacy loop.
+    default engine is used only when it actually brings something: a worker
+    pool, or (since yield runs route through cacheable ``YieldTask`` specs)
+    an on-disk result cache.  With neither, the serial yield path keeps its
+    legacy sequential RNG stream (seed compatibility), whereas the engine
+    path re-keys sample ``i`` to RNG child stream ``i`` — deterministic for
+    any worker count, but a different stream split than the legacy loop.
+    Consequence (documented in the README): enabling ``REPRO_CACHE`` alone
+    now shifts seeded yield figures once, exactly like enabling
+    ``REPRO_WORKERS`` always has; the shifted numbers are then stable and
+    cache-hit reproducible.
     """
     if engine is not None:
         return engine
     default = default_engine()
-    return default if default.config.max_workers > 1 else None
+    if default.config.max_workers > 1 or default.cache is not None:
+        return default
+    return None
 
 
 # ----------------------------------------------------------------------

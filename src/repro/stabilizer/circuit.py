@@ -34,7 +34,7 @@ number of measurements actually present.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 __all__ = [
     "Instruction",

@@ -46,7 +46,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .circuit import Circuit, NOISE_CHANNELS
+from .circuit import Circuit
 
 __all__ = ["DetectorSamples", "FrameSimulator", "sample_detectors"]
 

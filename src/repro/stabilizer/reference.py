@@ -17,7 +17,6 @@ Do not "improve" this module; its value is that it never changes.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -29,13 +29,13 @@ every data qubit involved in at most one two-qubit gate per time step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
 from ..noise.circuit_noise import CircuitNoiseModel
 from ..stabilizer.circuit import Circuit
-from .layout import Check, Coord
+from .layout import Coord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance, types only
     from ..core.patch import AdaptedPatch

@@ -1,6 +1,5 @@
 """Tests for the defect-adaptation algorithm (the paper's core contribution)."""
 
-import numpy as np
 import pytest
 
 from repro.core import adapt_patch, cluster_diameter, defect_clusters, evaluate_patch

@@ -2,14 +2,12 @@
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import (
     BinomialEstimate,
-    SlopeFit,
     combine_estimates,
     fit_ler_ansatz,
     fit_loglog_slope,

@@ -9,8 +9,6 @@ Covers the engine's three load-bearing guarantees:
   guaranteed minimum number of shots always honoured.
 """
 
-import json
-
 import numpy as np
 import pytest
 
@@ -22,7 +20,6 @@ from repro.engine import (
     Engine,
     EngineConfig,
     LerPointTask,
-    PatchSampleTask,
     ResultCache,
     ShotPolicy,
     ShotScheduler,

@@ -1,6 +1,5 @@
 """Tests for the vectorised Pauli-frame sampler."""
 
-import numpy as np
 import pytest
 
 from repro.stabilizer import Circuit, FrameSimulator, sample_detectors

@@ -9,7 +9,6 @@ The two load-bearing properties:
   every engine result stable across this refactor.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.adaptation import adapt_patch

@@ -1,6 +1,5 @@
 """Tests for post-selection criteria, chiplets, yield and overhead models."""
 
-import numpy as np
 import pytest
 
 from repro.chiplet import (
