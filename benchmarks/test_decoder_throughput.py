@@ -22,6 +22,7 @@ import time
 
 from repro.core.adaptation import adapt_patch
 from repro.decoder import MatchingGraph, MwpmDecoder, UnionFindDecoder
+from repro.decoder.base import syndrome_cache_limit
 from repro.decoder.reference import reference_mwpm_decode
 from repro.noise.circuit_noise import CircuitNoiseModel
 from repro.noise.fabrication import DefectSet
@@ -80,6 +81,17 @@ def test_decoder_throughput(benchmark, benchmark_seed):
                 decoder = make(graph)
                 batched = _throughput(
                     lambda: decoder.decode_fired_batch(fired), shots)
+                # Syndrome-memo health of the batched run: hits/evictions/
+                # final size land in the BENCH artifact so
+                # REPRO_SYNDROME_CACHE can be tuned from CI data (steady
+                # evictions at a pinned memo size mean the working set of
+                # distinct syndromes no longer fits).
+                memo = {
+                    "distinct_syndromes": decoder.decoded_syndromes,
+                    "memo_hits": decoder.memo_hits,
+                    "memo_evictions": decoder.memo_evictions,
+                    "memo_size": decoder.memo_size,
+                }
 
                 base_shots = min(shots, _BASELINE_SHOTS)
                 if name == "mwpm":
@@ -100,7 +112,9 @@ def test_decoder_throughput(benchmark, benchmark_seed):
                 rows.append((f"d={distance} {name}",
                              f"batched {batched:9.0f} shots/s, "
                              f"per-shot {baseline:8.0f} shots/s, "
-                             f"speedup {speedup:6.1f}x"))
+                             f"speedup {speedup:6.1f}x, "
+                             f"memo {memo['memo_hits']} hits / "
+                             f"{memo['memo_evictions']} evictions"))
                 series.append({
                     "label": f"d={distance} {name}",
                     "distance": distance,
@@ -109,6 +123,7 @@ def test_decoder_throughput(benchmark, benchmark_seed):
                     "batched_shots_per_sec": batched,
                     "per_shot_shots_per_sec": baseline,
                     "speedup": speedup,
+                    **memo,
                 })
         return rows
 
@@ -116,7 +131,8 @@ def test_decoder_throughput(benchmark, benchmark_seed):
     print_series(f"Decoder throughput (p={_P})", rows)
     write_bench_json("decoder_throughput", series, physical_error_rate=_P,
                      gates={"d3_mwpm": 5.0, "d5_mwpm": 5.0,
-                            "d5_unionfind": 2.0})
+                            "d5_unionfind": 2.0},
+                     syndrome_cache_limit=syndrome_cache_limit())
 
     # Acceptance criterion of the batched-decoding PR: >= 5x at p=1e-3.
     assert speedups[(3, "mwpm")] >= 5.0, speedups

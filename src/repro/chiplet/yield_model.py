@@ -148,12 +148,12 @@ class YieldEstimator:
         )
 
     def _run_engine(self, samples: int, engine) -> YieldResult:
-        """Fan sample blocks out over the engine's worker pool and merge."""
+        """Fan sample blocks out over the engine's backend and merge."""
         fp = seed_fingerprint(self.seed)
         jobs = [(self.chiplet_size, self.defect_model, self.criterion,
                  self.allow_rotation, self.boundary_standard, fp, start, stop)
                 for start, stop in yield_block_ranges(
-                    samples, engine.config.max_workers)]
+                    samples, engine.parallel_slots)]
         accepted, distance_counts, accepted_counts = merge_yield_blocks(
             engine.starmap(_evaluate_yield_block, jobs))
         return YieldResult(
@@ -167,15 +167,16 @@ class YieldEstimator:
         )
 
 
-def yield_block_ranges(samples: int, max_workers: int):
+def yield_block_ranges(samples: int, parallel_slots: int):
     """Contiguous (start, stop) sample blocks for one yield run.
 
     Purely a throughput knob (sized so one round of blocks splits across
-    the pool): per-index RNG streams make the partition invisible in the
-    counts.  Shared by the task-routed path (``Engine.run_yield``) and the
-    direct fallback (:meth:`YieldEstimator._run_engine`).
+    the backend's job slots — pool workers or remote hosts): per-index RNG
+    streams make the partition invisible in the counts.  Shared by the
+    task-routed path (``Engine.run_yield``) and the direct fallback
+    (:meth:`YieldEstimator._run_engine`).
     """
-    workers = max(1, max_workers)
+    workers = max(1, parallel_slots)
     block = max(1, -(-samples // (4 * workers)))
     start = 0
     while start < samples:

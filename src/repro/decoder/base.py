@@ -85,6 +85,19 @@ class BatchDecoderBase:
         self.memo_evictions = 0        # FIFO evictions once the memo is full
         self.shots_decoded = 0         # shots routed through the batch path
 
+    @property
+    def memo_size(self) -> int:
+        """Distinct syndromes currently held in the cross-batch memo.
+
+        Together with the lifetime ``memo_hits``/``memo_evictions``
+        counters (surfaced per run by
+        :class:`~repro.engine.pipeline.PipelineStats` and recorded in the
+        BENCH decoder artifacts), this is what sizes
+        ``REPRO_SYNDROME_CACHE``: persistent evictions with the memo
+        pinned at its limit mean the working set no longer fits.
+        """
+        return len(self._syndrome_memo)
+
     # ------------------------------------------------------------------
     def _decode_fired(self, fired: Syndrome) -> FrozenSet[int]:
         """Decode one canonical syndrome to its observable parity set."""

@@ -8,7 +8,12 @@ The engine is the single entry point for the repo's Monte-Carlo work:
 * :mod:`~repro.engine.pipeline` - fused, chunked sample→decode→tally hot path
   (bit-packed frames, syndrome-deduplicated decoding, warm geodesic caches);
 * :mod:`~repro.engine.cache` - content-addressed on-disk JSON result cache;
-* :mod:`~repro.engine.executor` - sharded (process-pool or serial) execution.
+* :mod:`~repro.engine.backends` - pluggable execution strategies (serial,
+  local process pool, multi-host TCP socket fleet), all bit-identical;
+* :mod:`~repro.engine.worker` - the remote-worker entry point
+  (``python -m repro.engine.worker``) the socket backend talks to;
+* :mod:`~repro.engine.executor` - sharding, scheduling and merging on top
+  of whichever backend the config selects.
 
 Quick use::
 
@@ -18,13 +23,22 @@ Quick use::
     engine = Engine(EngineConfig(max_workers=4, cache_dir=".repro-cache"))
     result = engine.run_ler(task, shots=200_000, seed=7)
 
-Results are bit-identical for any ``max_workers``; reruns with a cache
-directory are near-instant.  The experiment drivers in
+Results are bit-identical for any backend, worker count or host count;
+reruns with a cache directory are near-instant.  The experiment drivers in
 :mod:`repro.experiments` route through :func:`default_engine`, which reads
-``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE`` from the
-environment, so existing scripts parallelise without code changes.
+``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE`` /
+``REPRO_BACKEND`` / ``REPRO_HOSTS`` from the environment, so existing
+scripts parallelise — across processes or hosts — without code changes.
 """
 
+from .backends import (
+    Backend,
+    BackendError,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketBackend,
+    create_backend,
+)
 from .cache import ResultCache
 from .pipeline import DecodingPipeline, PipelineStats, default_chunk_shots
 from .executor import (
@@ -48,6 +62,12 @@ from .tasks import (
 )
 
 __all__ = [
+    "Backend",
+    "BackendError",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SocketBackend",
+    "create_backend",
     "DecodingPipeline",
     "PipelineStats",
     "default_chunk_shots",

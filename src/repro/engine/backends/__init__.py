@@ -1,0 +1,71 @@
+"""Pluggable execution backends for the Monte-Carlo engine.
+
+The engine plans *what* runs (tasks → shards → waves) and how results
+merge; a :class:`Backend` decides *where* each shard runs:
+
+* :class:`SerialBackend` — inline in the driving process;
+* :class:`ProcessPoolBackend` — a shared ``ProcessPoolExecutor`` on this
+  host (with broken-pool eviction and rebuild);
+* :class:`SocketBackend` — a fleet of ``python -m repro.engine.worker``
+  processes reached over TCP (``REPRO_HOSTS``).
+
+Because every shard's RNG stream is addressed by its (task, seed, shard
+index) coordinates and merging is slot-ordered, **all backends produce
+bit-identical results** — selection is purely an execution-strategy knob
+and is therefore excluded from every cache key (like ``max_workers``
+always was).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .base import Backend, BackendError
+from .process import ProcessPoolBackend
+from .serial import SerialBackend
+from .socket import SocketBackend
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "SocketBackend",
+    "BACKEND_NAMES",
+    "create_backend",
+]
+
+#: Valid ``REPRO_BACKEND`` / ``EngineConfig.backend`` values.
+BACKEND_NAMES = ("serial", "process", "socket")
+
+
+def create_backend(
+    name: str,
+    *,
+    max_workers: int = 1,
+    hosts: Sequence[Tuple[str, int]] = (),
+) -> Backend:
+    """Build the backend an :class:`EngineConfig` describes.
+
+    ``"process"`` (the default) preserves the engine's historical
+    behaviour exactly: with ``max_workers=1`` there is nothing to pool, so
+    it resolves to a :class:`SerialBackend` — which is why a default
+    configuration still runs everything in-process with legacy seeding.
+    ``"socket"`` requires a non-empty host list.
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        if max_workers <= 1:
+            return SerialBackend()
+        return ProcessPoolBackend(max_workers)
+    if name == "socket":
+        if not hosts:
+            raise ValueError(
+                "socket backend needs host:port entries "
+                "(set REPRO_HOSTS, e.g. REPRO_HOSTS=hostA:7931,hostB:7931)"
+            )
+        return SocketBackend(hosts)
+    raise ValueError(
+        f"unknown backend {name!r}; valid backends: {', '.join(BACKEND_NAMES)}"
+    )

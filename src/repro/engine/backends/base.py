@@ -1,0 +1,112 @@
+"""The ``Backend`` protocol: pluggable execution strategies for the engine.
+
+A backend answers exactly one question — *where does a shard run?* — and
+nothing else.  Scheduling (which shards exist, in which order waves are
+planned) belongs to :class:`~repro.engine.scheduler.ShotScheduler`; merging
+(how per-shard statistics combine) belongs to the engine.  Because every
+unit of work draws its RNG stream from its own (task, seed, shard index)
+coordinates, *any* backend produces bit-identical results for any worker or
+host count and any completion order — the backend only moves wall-clock.
+
+The contract has three methods:
+
+``submit(fn, args)``
+    Schedule one call and return a :class:`concurrent.futures.Future`.
+    ``fn`` must be a module-level (picklable) callable.  This is the
+    incremental primitive the engine's sweep loop drives: it submits waves
+    as earlier waves complete, so a plain batch API is not enough.
+``submit_shards(fn, jobs)``
+    Stream ``(slot, result)`` pairs **in completion order** — each
+    completed shard is yielded with the index of the job that produced it,
+    so callers can merge results by slot while later shards are still in
+    flight.
+``map(fn, jobs)``
+    Run ``fn(*job)`` for every job and return results **in job order**,
+    cancelling outstanding work when any job fails.  The generic fan-out
+    used by :meth:`Engine.starmap` and every non-LER Monte-Carlo layer;
+    the default implementation is exactly a slot-merge over
+    ``submit_shards``.
+``shutdown()``
+    Release pool/connection resources.  Idempotent; a backend must be
+    usable again after ``shutdown`` (it re-acquires resources lazily).
+
+Failure semantics are shared by all implementations: when a shard raises,
+outstanding futures are cancelled (never stranded on the pool), the hook
+:meth:`Backend.note_failure` runs (e.g. the process backend evicts a broken
+pool there), and the original exception propagates to the caller.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+__all__ = ["Backend", "BackendError"]
+
+
+class BackendError(RuntimeError):
+    """An execution backend failed for infrastructure (not task) reasons."""
+
+
+class Backend:
+    """Base class of all execution backends (see module docstring)."""
+
+    #: Short identifier ("serial", "process", "socket") used in config/env.
+    name: str = "abstract"
+
+    #: How many shards the backend can usefully run at once.  A throughput
+    #: hint only (block/wave sizing) — never part of any cache key, because
+    #: results are slot-count invariant.
+    parallel_slots: int = 1
+
+    #: Whether a trailing single-shard wave with nothing to overlap should
+    #: run inline in the submitting process instead of paying a round-trip.
+    #: True for in-host backends; False for remote ones, where the
+    #: submitting process is a coordinator that may not want the work.
+    inline_single_shard: bool = True
+
+    # ------------------------------------------------------------------
+    def submit(self, fn, args: tuple) -> Future:
+        """Schedule ``fn(*args)``; the returned future resolves to its result."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release resources; safe to call twice, safe to use again after."""
+
+    def note_failure(self, exc: BaseException) -> None:
+        """Hook run before a shard failure propagates (pool-health triage)."""
+
+    # ------------------------------------------------------------------
+    def submit_shards(self, fn, jobs: Sequence[tuple]) -> Iterator[Tuple[int, object]]:
+        """Yield ``(slot, result)`` pairs as shards complete, in any order."""
+        pending = {self.submit(fn, job): slot for slot, job in enumerate(jobs)}
+        try:
+            while pending:
+                done = self.wait_any(pending)
+                for fut in done:
+                    yield pending.pop(fut), fut.result()
+        except BaseException as exc:
+            self._cancel(pending, exc)
+            raise
+
+    def map(self, fn, jobs: Sequence[tuple]) -> List:
+        """Run every job and return results in job order (cancel on failure)."""
+        results: List = [None] * len(jobs)
+        for slot, result in self.submit_shards(fn, jobs):
+            results[slot] = result
+        return results
+
+    def wait_any(self, futures: Iterable[Future]) -> Set[Future]:
+        """Block until at least one future completes; return the done set."""
+        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+        return done
+
+    # ------------------------------------------------------------------
+    def _cancel(self, futures: Iterable[Future], exc: BaseException) -> None:
+        """Shared failure path: triage the error, then cancel the rest."""
+        self.note_failure(exc)
+        for f in futures:
+            f.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} slots={self.parallel_slots}>"

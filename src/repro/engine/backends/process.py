@@ -1,0 +1,111 @@
+"""Process-pool execution: the extracted ``_get_pool``/``starmap`` path.
+
+Pools are expensive to spawn, so they live in a process-wide registry keyed
+by worker count and are shared by every :class:`ProcessPoolBackend` (and
+therefore every :class:`~repro.engine.executor.Engine`) in the process —
+exactly the lifetime the old module-global ``_POOLS`` dict gave the
+executor.
+
+Unlike the old registry, a **broken pool is evicted and rebuilt**: when a
+worker dies mid-shard (OOM kill, segfault, ``os._exit``), the
+``ProcessPoolExecutor`` flips into the broken state and every later submit
+raises ``BrokenProcessPool`` forever.  The registry previously kept handing
+out that dead pool, so one worker death poisoned every subsequent run in
+the process.  Now ``submit`` retries once on a fresh pool, and
+:meth:`ProcessPoolBackend.note_failure` (run whenever a shard failure
+propagates) drops the broken pool from the registry so the *next* run
+starts clean.  The run that lost its worker still fails — its shard results
+are unknowable — but it fails once, not forever.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import Dict, List, Sequence
+
+from .base import Backend
+
+__all__ = ["ProcessPoolBackend"]
+
+
+# ----------------------------------------------------------------------
+# Process-wide pool registry (shared across backends/engines)
+# ----------------------------------------------------------------------
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(max_workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(max_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        _POOLS[max_workers] = pool
+    return pool
+
+
+def _evict_pool(max_workers: int) -> None:
+    """Drop (and shut down) the registered pool for ``max_workers``."""
+    pool = _POOLS.pop(max_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@atexit.register
+def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
+    for pool in _POOLS.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _POOLS.clear()
+
+
+# ----------------------------------------------------------------------
+class ProcessPoolBackend(Backend):
+    """Runs shards on a shared ``ProcessPoolExecutor`` of ``max_workers``."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int):
+        if max_workers <= 1:
+            raise ValueError(
+                "ProcessPoolBackend needs max_workers > 1; "
+                "use SerialBackend for in-process execution"
+            )
+        self.max_workers = int(max_workers)
+
+    @property
+    def parallel_slots(self) -> int:  # type: ignore[override]
+        return self.max_workers
+
+    # ------------------------------------------------------------------
+    def submit(self, fn, args: tuple) -> Future:
+        try:
+            return _get_pool(self.max_workers).submit(fn, *args)
+        except BrokenExecutor:
+            # The registered pool died some time ago (worker OOM-killed,
+            # interpreter crash): rebuild once and retry.  No work is lost
+            # — the broken pool rejected the submit outright.
+            _evict_pool(self.max_workers)
+            return _get_pool(self.max_workers).submit(fn, *args)
+
+    def map(self, fn, jobs: Sequence[tuple]) -> List:
+        if len(jobs) <= 1:
+            # Pool round-trips cost more than a single job: keep the old
+            # starmap shortcut of running it in the submitting process.
+            return [fn(*job) for job in jobs]
+        return super().map(fn, jobs)
+
+    def note_failure(self, exc: BaseException) -> None:
+        if isinstance(exc, BrokenExecutor):
+            # The shard died *with* its worker: results for the current run
+            # are unknowable (the caller still sees the error), but the
+            # registry must stop handing out the corpse.
+            _evict_pool(self.max_workers)
+
+    def shutdown(self) -> None:
+        """Deliberate no-op: the pool is a process-wide shared resource.
+
+        Every backend (and therefore every engine) at the same worker
+        count shares one registry pool, so evicting it here would cancel
+        another engine's in-flight shards.  Broken pools are already
+        evicted by ``submit``/``note_failure``, and healthy pools are
+        reclaimed by the registry's ``atexit`` hook at interpreter exit.
+        """

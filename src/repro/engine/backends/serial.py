@@ -1,0 +1,41 @@
+"""In-process execution: the extracted serial path of the old executor.
+
+Every submitted call runs immediately in the submitting process; the
+returned future is already resolved.  This is the default for
+``max_workers=1`` configurations and the reference implementation the
+parity suite measures the other backends against — any backend must
+reproduce its numbers bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import List, Sequence
+
+from .base import Backend
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(Backend):
+    """Runs every shard inline in the submitting process."""
+
+    name = "serial"
+    parallel_slots = 1
+
+    def submit(self, fn, args: tuple) -> Future:
+        fut: Future = Future()
+        fut.set_running_or_notify_cancel()
+        try:
+            fut.set_result(fn(*args))
+        except BaseException as exc:
+            # Deliver through the future so callers see one uniform failure
+            # path (``.result()`` raises) across all backends.
+            fut.set_exception(exc)
+        return fut
+
+    def map(self, fn, jobs: Sequence[tuple]) -> List:
+        # The plain loop, not submit-then-collect: a failing job must stop
+        # the batch at once instead of eagerly running the remaining jobs
+        # (the historical serial-starmap semantics).
+        return [fn(*job) for job in jobs]

@@ -1,0 +1,224 @@
+"""Multi-host execution over TCP: ship shards to remote worker processes.
+
+The :class:`SocketBackend` fans jobs out to a fixed list of
+``python -m repro.engine.worker`` processes (``host:port`` pairs from
+``REPRO_HOSTS``).  One connection — and one dispatcher thread — is held per
+host entry; each connection runs one job at a time, so a host listed twice
+(or running two worker processes) contributes two slots.  Jobs are pickled
+``("call", fn, args)`` messages (for LER shards: the frozen task spec, the
+shard's ``SeedSequence`` and the shot count — primitives all the way down),
+and replies merge back **by slot**, so results are bit-identical to the
+serial and process backends regardless of host count or completion order.
+
+The remote workers keep the same warm per-process task memo the local pool
+workers do (:func:`repro.engine.executor._context_for` runs wherever the
+shard runs), so successive waves of a sweep decode against hot caches on
+every host.
+
+Failure model: a connection that dies mid-job fails that job's future with
+:class:`BackendError` and retires the connection; when the last connection
+retires, queued jobs fail rather than hang, and the next ``submit`` starts
+a fresh round of connection attempts (so restarting the workers heals the
+backend without rebuilding the engine).  A job that merely *raises* on the
+worker fails only its own future — the connection survives, exactly as a
+raising shard leaves a process-pool worker alive.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from typing import List, Sequence, Tuple
+
+from .base import Backend, BackendError
+from .wire import ProtocolError, handshake, recv_msg, send_msg
+
+__all__ = ["SocketBackend"]
+
+_STOP = object()
+
+
+class SocketBackend(Backend):
+    """Runs shards on remote ``repro.engine.worker`` processes over TCP."""
+
+    name = "socket"
+    #: Remote coordinators should not execute trailing shards themselves:
+    #: the submitting process may be a thin driver on a laptop while the
+    #: workers are the actual compute hosts.
+    inline_single_shard = False
+
+    def __init__(
+        self,
+        hosts: Sequence[Tuple[str, int]],
+        *,
+        connect_timeout: float = 5.0,
+        connect_retries: int = 40,
+        retry_delay: float = 0.25,
+    ):
+        self.hosts: Tuple[Tuple[str, int], ...] = tuple(
+            (str(h), int(p)) for h, p in hosts)
+        if not self.hosts:
+            raise ValueError("SocketBackend needs at least one host:port")
+        self.connect_timeout = float(connect_timeout)
+        self.connect_retries = int(connect_retries)
+        self.retry_delay = float(retry_delay)
+        self._lock = threading.Lock()
+        # One dispatcher *generation* at a time: each (queue, threads, live)
+        # triple is replaced wholesale on shutdown or total connection loss,
+        # so a stale _STOP sentinel can never leak into a later generation.
+        self._queue: "queue.Queue" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._live = 0
+        self._started = False
+
+    @property
+    def parallel_slots(self) -> int:  # type: ignore[override]
+        return len(self.hosts)
+
+    # ------------------------------------------------------------------
+    def submit(self, fn, args: tuple) -> Future:
+        fut: Future = Future()
+        jobs = self._ensure_started()
+        jobs.put((fut, fn, args))
+        # Close the submit/retire race: if this generation died (last
+        # dispatcher retired, shutdown ran, or a concurrent submit already
+        # started a *newer* generation) between _ensure_started and the
+        # put, nothing will ever drain this queue — fail the stragglers
+        # instead of letting their futures hang.
+        with self._lock:
+            orphaned = jobs is not self._queue or self._live <= 0
+        if orphaned:
+            self._fail_queued(jobs, BackendError(
+                "all worker connections lost before the job was dispatched"))
+        return fut
+
+    def shutdown(self) -> None:
+        """Close every connection; the backend reconnects on next use."""
+        with self._lock:
+            jobs, threads = self._queue, self._threads
+            self._threads = []
+            self._started = False
+            # Mark the generation dead so a concurrent submit that already
+            # holds this queue sees it as orphaned instead of hanging.
+            self._live = 0
+        for _ in threads:
+            jobs.put(_STOP)
+        for t in threads:
+            t.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> "queue.Queue":
+        with self._lock:
+            if self._started and self._live > 0:
+                return self._queue
+            # First use, post-shutdown use, or every connection retired:
+            # start a fresh generation (new queue, one dispatcher per
+            # host).  Threads that find their worker gone retire again;
+            # submitters then see BackendError futures, never a hang.
+            jobs: "queue.Queue" = queue.Queue()
+            self._queue = jobs
+            self._threads = []
+            self._live = len(self.hosts)
+            self._started = True
+            for host, port in self.hosts:
+                t = threading.Thread(target=self._serve,
+                                     args=(jobs, host, port),
+                                     name=f"repro-socket-{host}:{port}",
+                                     daemon=True)
+                self._threads.append(t)
+                t.start()
+            return jobs
+
+    def _connect(self, host: str, port: int) -> socket.socket:
+        last_error: Exception = ConnectionError("no connection attempted")
+        for attempt in range(self.connect_retries):
+            try:
+                sock = socket.create_connection((host, port),
+                                                timeout=self.connect_timeout)
+                try:
+                    handshake(sock)
+                    # Shards can legitimately run for minutes: no read
+                    # timeout once the handshake proves we found a worker.
+                    sock.settimeout(None)
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                    return sock
+                except BaseException:
+                    sock.close()
+                    raise
+            except ProtocolError as exc:
+                # A deterministic mismatch (wrong service on the port, or a
+                # worker from an incompatible protocol revision): retrying
+                # cannot help, so fail immediately with the real cause.
+                raise BackendError(
+                    f"peer at {host}:{port} is not a compatible repro "
+                    f"worker: {exc}"
+                ) from exc
+            except (OSError, ConnectionError) as exc:
+                last_error = exc
+                if attempt + 1 < self.connect_retries:
+                    time.sleep(self.retry_delay)
+        raise BackendError(
+            f"could not connect to repro worker at {host}:{port}: {last_error!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def _serve(self, jobs: "queue.Queue", host: str, port: int) -> None:
+        """Dispatcher thread: one connection, one in-flight job at a time."""
+        try:
+            sock = self._connect(host, port)
+        except BaseException as exc:
+            self._retire(jobs, exc)
+            return
+        try:
+            while True:
+                job = jobs.get()
+                if job is _STOP:
+                    return
+                fut, fn, args = job
+                if not fut.set_running_or_notify_cancel():
+                    continue  # cancelled while queued
+                try:
+                    send_msg(sock, ("call", fn, args))
+                    status, payload = recv_msg(sock)
+                except BaseException as exc:
+                    fut.set_exception(BackendError(
+                        f"worker {host}:{port} dropped mid-job: {exc!r}"))
+                    self._retire(jobs, exc)
+                    return
+                if status == "ok":
+                    fut.set_result(payload)
+                else:
+                    fut.set_exception(payload)
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _retire(self, jobs: "queue.Queue", cause: BaseException) -> None:
+        """Account a dead connection; fail queued jobs when none are left."""
+        with self._lock:
+            if jobs is not self._queue:
+                return  # a later generation superseded this one
+            self._live -= 1
+            last_one = self._live <= 0
+        if not last_one:
+            return
+        self._fail_queued(jobs, BackendError(
+            f"all worker connections lost (last error: {cause!r})"))
+
+    @staticmethod
+    def _fail_queued(jobs: "queue.Queue", error: BackendError) -> None:
+        while True:
+            try:
+                job = jobs.get_nowait()
+            except queue.Empty:
+                return
+            if job is _STOP:
+                continue
+            fut = job[0]
+            if fut.set_running_or_notify_cancel():
+                fut.set_exception(error)

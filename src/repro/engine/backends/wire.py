@@ -1,0 +1,79 @@
+"""Framing for the socket backend's client↔worker protocol.
+
+One tiny, symmetric wire format shared by :class:`SocketBackend` (client
+side) and ``python -m repro.engine.worker`` (server side), so the two can
+never drift apart:
+
+* on connect both ends exchange :data:`MAGIC` (protocol + version tag) —
+  a client talking to the wrong port, or to a worker from an incompatible
+  revision, fails immediately with a clear error instead of a pickle
+  traceback;
+* every message is a length-prefixed pickle: 8 network-order bytes of
+  payload length, then the pickled object.  Requests are
+  ``("call", fn, args)`` tuples (``fn`` pickled by reference, so the worker
+  resolves it against its own installed ``repro``); responses are
+  ``("ok", result)`` or ``("err", exception)``.
+
+Pickle implies **trust**: a worker executes whatever the connection sends.
+Workers bind to loopback by default and must only ever listen on networks
+where every peer is trusted (a lab cluster behind a firewall, an SSH
+tunnel) — exactly the trust model of every pickle-based RPC layer
+(``multiprocessing.managers`` included).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+__all__ = ["MAGIC", "send_msg", "recv_msg", "handshake", "ProtocolError"]
+
+#: Protocol tag exchanged on connect; bump the digit on breaking changes.
+MAGIC = b"REPRO-WORKER-1\n"
+
+_HEADER = struct.Struct(">Q")
+
+#: Upper bound on one message (defensive: a garbled length prefix must not
+#: look like a 2**60-byte allocation).
+MAX_MESSAGE_BYTES = 1 << 30
+
+
+class ProtocolError(ConnectionError):
+    """The peer is not a compatible repro worker (bad magic / bad frame)."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_msg(sock: socket.socket, obj) -> None:
+    """Send one length-prefixed pickled message."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_msg(sock: socket.socket):
+    """Receive one length-prefixed pickled message."""
+    (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message of {length} bytes exceeds protocol limit")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def handshake(sock: socket.socket) -> None:
+    """Exchange magic tags (both directions); raise on any mismatch."""
+    sock.sendall(MAGIC)
+    peer = _recv_exact(sock, len(MAGIC))
+    if peer != MAGIC:
+        raise ProtocolError(
+            f"peer is not a compatible repro worker (got {peer!r})"
+        )

@@ -1,33 +1,37 @@
 """Sharded Monte-Carlo executor: the single entry point for engine work.
 
 The executor takes a :class:`~repro.engine.tasks.TaskSpec`, splits the
-requested shots (or sample attempts) into shards, runs the shards serially or
-on a ``concurrent.futures.ProcessPoolExecutor``, and merges the per-shard
-statistics with the binomial pooling from :mod:`repro.analysis.stats`.
+requested shots (or sample attempts) into shards, hands the shards to a
+pluggable execution :class:`~repro.engine.backends.Backend` (in-process, a
+local process pool, or a fleet of remote socket workers), and merges the
+per-shard statistics with the binomial pooling from
+:mod:`repro.analysis.stats`.
 
 Determinism contract
 --------------------
 Shard ``i`` of a task always draws its generator from RNG child stream ``i``
 of the run's root seed (:func:`repro.engine.rng.child_stream`), and merged
-statistics are plain sums, so results are **bit-identical for any
-``max_workers``** and for repeated runs with the same seed.  As a special
-case, a fixed-policy run that fits in a single shard seeds the simulator with
-the *raw* user seed - exactly what the pre-engine experiment drivers did - so
-legacy seeds keep producing legacy numbers.
+statistics are plain sums keyed by shard slot, so results are
+**bit-identical for any backend, worker count or host count** and for
+repeated runs with the same seed.  As a special case, a fixed-policy run
+that fits in a single shard seeds the simulator with the *raw* user seed -
+exactly what the pre-engine experiment drivers did - so legacy seeds keep
+producing legacy numbers.
 
 Workers memoise a warm :class:`~repro.engine.pipeline.DecodingPipeline`
 (circuit, DEM, decoder, geodesic/syndrome caches) per task content hash, so a
 task's expensive setup is paid once per process, not once per shard — and
 successive shards and scheduler waves of the same task decode against
-already-cached geodesics and memoised syndromes.
+already-cached geodesics and memoised syndromes.  The memo lives at module
+scope precisely so it warms up wherever the shard functions run: a pool
+worker on this host and a ``python -m repro.engine.worker`` process on
+another machine get the same treatment.
 """
 
 from __future__ import annotations
 
-import atexit
 import hashlib
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -35,10 +39,11 @@ import numpy as np
 
 from ..analysis.stats import BinomialEstimate
 from ..core.patch import AdaptedPatch
-from ..env import env_int
+from ..env import env_choice, env_hosts, env_int
 from ..decoder.matching import MatchingGraph, MwpmDecoder
 from ..decoder.unionfind import UnionFindDecoder
 from ..stabilizer.dem import build_detector_error_model
+from .backends import BACKEND_NAMES, Backend, create_backend
 from .cache import ResultCache
 from .pipeline import DecodingPipeline
 from .rng import Seed, as_seed_sequence, child_stream, from_fingerprint, seed_fingerprint
@@ -65,38 +70,64 @@ class EngineConfig:
     Attributes
     ----------
     max_workers:
-        Process-pool width; ``1`` (the default) runs everything in-process.
+        Process-pool width of the ``"process"`` backend; ``1`` (the
+        default) runs everything in-process.
     shard_size:
         Maximum shots per shard.  Runs that fit in one shard follow the
         legacy single-stream seeding, so the default is chosen above the
         laptop-scale shot counts used by the tests and benchmarks.
     cache_dir:
         Root of the on-disk result cache; ``None`` disables caching.
+    backend:
+        Execution strategy: ``"process"`` (the default — a local process
+        pool, or in-process when ``max_workers`` is 1), ``"serial"``
+        (force in-process regardless of ``max_workers``), or ``"socket"``
+        (remote ``repro.engine.worker`` processes listed in ``hosts``).
+        Results are backend-invariant, so the choice is excluded from
+        cache keys.
+    hosts:
+        ``(host, port)`` pairs of remote workers for the socket backend;
+        ignored by the other backends.  An entry per job slot — list a
+        host twice to keep two shards in flight there.
     """
 
     max_workers: int = 1
     shard_size: int = 4096
     cache_dir: Optional[str] = None
+    backend: str = "process"
+    hosts: Tuple[Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if self.shard_size <= 0:
             raise ValueError("shard_size must be positive")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"valid backends: {', '.join(BACKEND_NAMES)}"
+            )
+        if self.backend == "socket" and not self.hosts:
+            raise ValueError("socket backend needs at least one (host, port)")
 
     @classmethod
     def from_env(cls, env=None) -> "EngineConfig":
-        """Read ``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE``.
+        """Read ``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE``
+        plus the backend selection (``REPRO_BACKEND`` / ``REPRO_HOSTS``).
 
-        Integer variables are validated up front (:func:`repro.env.env_int`):
-        garbage or non-positive values raise a ``ValueError`` naming the
-        variable instead of surfacing later as a bare ``int()`` traceback.
+        Every variable is validated up front (:mod:`repro.env`): garbage,
+        non-positive or malformed values raise a ``ValueError`` naming the
+        variable instead of surfacing later as a bare traceback.
         """
         env = os.environ if env is None else env
         workers = env_int("REPRO_WORKERS", 1, minimum=1, env=env)
         cache = env.get("REPRO_CACHE") or None
         shard = env_int("REPRO_SHARD_SIZE", 4096, minimum=1, env=env)
-        return cls(max_workers=workers, shard_size=shard, cache_dir=cache)
+        backend = env_choice("REPRO_BACKEND", "process", BACKEND_NAMES,
+                             env=env)
+        hosts = env_hosts("REPRO_HOSTS", env=env)
+        return cls(max_workers=workers, shard_size=shard, cache_dir=cache,
+                   backend=backend, hosts=hosts)
 
 
 # ----------------------------------------------------------------------
@@ -156,11 +187,12 @@ class SweepItem:
 class _SweepTaskRun:
     """Mutable progress of one sweep item while its shards are in flight.
 
-    Shard seeds and wave bookkeeping reproduce ``Engine._run_ler_live``
-    exactly: shard ``i`` draws child stream ``i`` of the item seed (or the
-    raw seed for a legacy single-shard fixed run), and the scheduler only
-    sees *merged* statistics of complete waves, so the shard plan — and the
-    result — is independent of completion order and worker count.
+    Shard seeds and wave bookkeeping reproduce the historical task-by-task
+    loop exactly: shard ``i`` draws child stream ``i`` of the item seed (or
+    the raw seed for a legacy single-shard fixed run), and the scheduler
+    only sees *merged* statistics of complete waves, so the shard plan —
+    and the result — is independent of completion order, worker count and
+    execution backend.
     """
 
     def __init__(self, index: int, item: SweepItem, shard_size: int):
@@ -338,48 +370,58 @@ def _ler_cache_record(task: LerPointTask, result: "LerResult") -> dict:
 
 
 # ----------------------------------------------------------------------
-# Process-pool lifecycle
-# ----------------------------------------------------------------------
-_POOLS: Dict[int, ProcessPoolExecutor] = {}
-
-
-def _get_pool(max_workers: int) -> ProcessPoolExecutor:
-    pool = _POOLS.get(max_workers)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-        _POOLS[max_workers] = pool
-    return pool
-
-
-@atexit.register
-def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
-    for pool in _POOLS.values():
-        pool.shutdown(wait=False, cancel_futures=True)
-    _POOLS.clear()
-
-
-# ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 class Engine:
-    """Runs task specs: sharding, scheduling, caching, result merging."""
+    """Runs task specs: sharding, scheduling, caching, result merging.
+
+    *Where* shards run is delegated to a pluggable
+    :class:`~repro.engine.backends.Backend` built from the config
+    (serial, local process pool, or remote socket workers); every
+    execution path below — ``run_sweep``/``run_ler``, ``run_yield``,
+    ``sample_patches``, ``starmap`` — routes through it, and all backends
+    produce bit-identical numbers.
+    """
 
     def __init__(self, config: Optional[EngineConfig] = None):
         self.config = config or EngineConfig()
         self._cache = (ResultCache(self.config.cache_dir)
                        if self.config.cache_dir else None)
+        self._backend: Optional[Backend] = None
 
     # ------------------------------------------------------------------
     @property
     def cache(self) -> Optional[ResultCache]:
         return self._cache
 
+    @property
+    def backend(self) -> Backend:
+        """The execution backend (built lazily from the config)."""
+        if self._backend is None:
+            self._backend = create_backend(
+                self.config.backend,
+                max_workers=self.config.max_workers,
+                hosts=self.config.hosts,
+            )
+        return self._backend
+
+    @property
+    def parallel_slots(self) -> int:
+        """Shards the backend can usefully keep in flight (throughput hint).
+
+        Block/wave sizing only — never part of a cache key, because results
+        are slot-count invariant.
+        """
+        return self.backend.parallel_slots
+
     def _cache_key(self, task, seed: Seed, policy: ShotPolicy) -> Optional[str]:
         """Key covering everything that determines the numbers.
 
-        ``max_workers`` is deliberately excluded (results are worker-count
-        invariant); ``shard_size`` is included because the multi-shard stream
-        split depends on it.
+        ``max_workers``, ``backend`` and ``hosts`` are deliberately
+        excluded: results are invariant to where shards run (the backend
+        parity suite enforces it), so a result computed by a remote socket
+        fleet answers a later serial run and vice versa.  ``shard_size``
+        is included because the multi-shard stream split depends on it.
         """
         fp = seed_fingerprint(seed)
         if fp is None:
@@ -393,24 +435,15 @@ class Engine:
         return hashlib.sha256(canonical_json(body).encode()).hexdigest()
 
     def starmap(self, fn, jobs: Sequence[tuple]) -> List:
-        """Run ``fn(*job)`` for every job, in order, serially or on the pool.
+        """Run ``fn(*job)`` for every job, in order, on the backend.
 
         ``fn`` must be a module-level callable (picklable).  This is the
         generic fan-out primitive other Monte-Carlo layers (e.g. the chiplet
-        yield estimator) build on; result order always matches job order.
+        yield estimator) build on; result order always matches job order,
+        and a failing job cancels the rest of the batch instead of
+        stranding it on the backend.
         """
-        if self.config.max_workers <= 1 or len(jobs) <= 1:
-            return [fn(*job) for job in jobs]
-        pool = _get_pool(self.config.max_workers)
-        futures = [pool.submit(fn, *job) for job in jobs]
-        try:
-            return [f.result() for f in futures]
-        except BaseException:
-            # A failing shard must not strand the rest of the batch on the
-            # pool: cancel whatever has not started yet before re-raising.
-            for f in futures:
-                f.cancel()
-            raise
+        return self.backend.map(fn, jobs)
 
     # ------------------------------------------------------------------
     # LER tasks
@@ -462,13 +495,16 @@ class Engine:
         """Run a batch of sweep items with cross-task shard interleaving.
 
         Every pending item gets its own :class:`ShotScheduler`; the planned
-        shards of *all* items share one process pool, and completed shards
-        merge back per item under the wave rule (a scheduler only sees the
-        summed statistics of its own complete waves).  Results are therefore
-        **bit-identical to running the items one at a time** — determinism
-        comes from per-item child RNG streams and the wave-merge rule, never
-        from completion order — while adaptive waves of one item overlap
-        with fixed shards of another instead of draining task-by-task.
+        shards of *all* items share one execution backend, and completed
+        shards merge back per item under the wave rule (a scheduler only
+        sees the summed statistics of its own complete waves).  Results are
+        therefore **bit-identical to running the items one at a time** —
+        determinism comes from per-item child RNG streams and the
+        wave-merge rule, never from completion order or from where a shard
+        ran — while adaptive waves of one item overlap with fixed shards of
+        another instead of draining task-by-task.  On the serial backend
+        the same loop simply executes each submitted shard inline, which
+        reproduces the historical task-by-task numbers exactly.
 
         Items mix policies freely (the cutoff sweep's fixed cells next to an
         adaptive low-p point); cache hits are resolved up front and misses
@@ -487,17 +523,8 @@ class Engine:
             run.key = key
             runs.append(run)
 
-        if not runs:
-            return results  # type: ignore[return-value]
-        if self.config.max_workers <= 1:
-            # Serial fallback: the interleaved plan collapses to the exact
-            # task-by-task loop (same shard seeds, same wave merges).
-            for run in runs:
-                result = self._run_ler_live(run.item.task, run.item.policy,
-                                            run.item.seed)
-                self._finish_sweep_run(run, result, results)
-        else:
-            self._run_sweep_pool(runs, results)
+        if runs:
+            self._run_sweep_backend(runs, results)
         return results  # type: ignore[return-value]
 
     def _finish_sweep_run(self, run: _SweepTaskRun, result: LerResult,
@@ -506,10 +533,10 @@ class Engine:
         if run.key is not None:
             self._cache.put(run.key, _ler_cache_record(run.item.task, result))
 
-    def _run_sweep_pool(self, runs: List[_SweepTaskRun],
-                        results: List[Optional[LerResult]]) -> None:
-        """Interleaved execution: one pool, shards of all runs in flight."""
-        pool = _get_pool(self.config.max_workers)
+    def _run_sweep_backend(self, runs: List[_SweepTaskRun],
+                           results: List[Optional[LerResult]]) -> None:
+        """Interleaved execution: one backend, shards of all runs in flight."""
+        backend = self.backend
         pending: Dict = {}  # Future -> (run, wave slot)
         unfinished = len(runs)
 
@@ -521,10 +548,13 @@ class Engine:
                     unfinished -= 1
                     self._finish_sweep_run(run, run.result(), results)
                     return
-                if len(wave) == 1 and not pending and unfinished == 1:
+                if (backend.inline_single_shard and len(wave) == 1
+                        and not pending and unfinished == 1):
                     # A one-shard wave with nothing to overlap: run it in
-                    # the parent instead of paying pool round-trips (the
-                    # pre-sweep starmap shortcut for single-job waves).
+                    # the submitting process instead of paying round-trips
+                    # (the pre-sweep starmap shortcut for single-job waves;
+                    # remote backends opt out — their submitter may be a
+                    # thin coordinator).
                     idx, n = wave[0]
                     run.begin_wave(wave)
                     run.complete_slot(0, _run_ler_shard(
@@ -533,8 +563,9 @@ class Engine:
                     continue
                 run.begin_wave(wave)
                 for slot, (idx, n) in enumerate(wave):
-                    fut = pool.submit(_run_ler_shard, run.item.task,
-                                      run.shard_seed(idx), n)
+                    fut = backend.submit(
+                        _run_ler_shard,
+                        (run.item.task, run.shard_seed(idx), n))
                     pending[fut] = (run, slot)
                 return
 
@@ -542,15 +573,17 @@ class Engine:
             for run in runs:
                 submit_next_wave(run)
             while pending:
-                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                done = backend.wait_any(pending)
                 for fut in done:
                     run, slot = pending.pop(fut)
                     if run.complete_slot(slot, fut.result()):
                         run.merge_wave()
                         submit_next_wave(run)
-        except BaseException:
+        except BaseException as exc:
             # A failing shard (or an interrupt) must not strand the other
-            # items' shards on the pool.
+            # items' shards on the backend; give the backend a chance to
+            # triage infrastructure failures (e.g. evict a broken pool).
+            backend.note_failure(exc)
             for fut in pending:
                 fut.cancel()
             raise
@@ -578,35 +611,6 @@ class Engine:
             )
         except (KeyError, TypeError, ValueError):
             return None
-
-    def _run_ler_live(self, task: LerPointTask, policy: ShotPolicy,
-                      seed: Seed) -> LerResult:
-        sched = ShotScheduler(policy, self.config.shard_size)
-        root = as_seed_sequence(seed)
-        # Legacy-compatible path: a fixed budget that fits in one shard is
-        # seeded with the raw user seed, matching the pre-engine drivers.
-        single_shard = (not policy.is_adaptive
-                        and policy.max_shots <= self.config.shard_size)
-        failures = 0
-        num_detectors = num_dem = 0
-        num_shards = 0
-        while True:
-            wave = sched.next_wave()
-            if not wave:
-                break
-            jobs = []
-            for idx, n in wave:
-                shard_seed: Seed = seed if single_shard else child_stream(root, idx)
-                jobs.append((task, shard_seed, n))
-            outs = self.starmap(_run_ler_shard, jobs)
-            wave_failures = sum(o[0] for o in outs)
-            num_detectors, num_dem = outs[0][1], outs[0][2]
-            failures += wave_failures
-            num_shards += len(wave)
-            sched.record(wave_failures, sum(n for _, n in wave))
-        return LerResult(task=task, failures=failures, shots=sched.shots_done,
-                         num_detectors=num_detectors, num_dem_errors=num_dem,
-                         num_shards=num_shards)
 
     # ------------------------------------------------------------------
     # Patch-sample tasks
@@ -647,9 +651,10 @@ class Engine:
         max_attempts = task.max_attempts
         # Block = contiguous attempt range; sized so one wave of blocks
         # plausibly yields the whole batch while still splitting across the
-        # pool.  Purely a throughput knob - results only depend on indices.
+        # backend's slots.  Purely a throughput knob - results only depend
+        # on indices.
         block = max(1, min(64, (task.num_patches + 1) // 2 + 1))
-        wave_blocks = max(2 * self.config.max_workers, 2)
+        wave_blocks = max(2 * self.parallel_slots, 2)
         accepted: list = []
         start = 0
         while start < max_attempts and len(accepted) < task.num_patches:
@@ -711,7 +716,7 @@ class Engine:
 
         jobs = [(task, fp, start, stop)
                 for start, stop in yield_block_ranges(
-                    task.samples, self.config.max_workers)]
+                    task.samples, self.parallel_slots)]
         accepted, distance_counts, accepted_counts = merge_yield_blocks(
             self.starmap(_run_yield_block, jobs))
         result = YieldResult(
@@ -761,8 +766,9 @@ def default_engine() -> Engine:
     """The engine used when drivers are not handed one explicitly.
 
     Configured once per process from ``REPRO_WORKERS`` / ``REPRO_CACHE`` /
-    ``REPRO_SHARD_SIZE``; with no environment overrides it is a serial,
-    cache-less engine whose numbers match the pre-engine code paths.
+    ``REPRO_SHARD_SIZE`` / ``REPRO_BACKEND`` / ``REPRO_HOSTS``; with no
+    environment overrides it is a serial, cache-less engine whose numbers
+    match the pre-engine code paths.
     """
     global _DEFAULT_ENGINE
     if _DEFAULT_ENGINE is None:

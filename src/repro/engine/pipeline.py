@@ -67,6 +67,8 @@ class PipelineStats:
     empty_shots: int            # shots short-circuited on the empty syndrome
     sample_seconds: float = 0.0  # wall-clock spent in the packed sampler
     decode_seconds: float = 0.0  # wall-clock spent extracting/decoding/tallying
+    memo_evictions: int = 0     # syndrome-memo FIFO evictions during this run
+    memo_size: int = 0          # memo entries held after the run
 
     @property
     def dedup_factor(self) -> float:
@@ -82,6 +84,17 @@ class PipelineStats:
         """
         total = self.sample_seconds + self.decode_seconds
         return self.shots / total if total > 0 else 0.0
+
+    @property
+    def memo_pressure(self) -> float:
+        """Evictions per decoded syndrome this run (0 when the memo fits).
+
+        Anything persistently above ~0 means the cross-batch syndrome memo
+        (``REPRO_SYNDROME_CACHE``) is smaller than the working set and is
+        churning; the BENCH decoder series records the raw counters so the
+        knob can be sized from CI artifacts.
+        """
+        return self.memo_evictions / max(self.distinct_syndromes, 1)
 
     @property
     def sample_fraction(self) -> float:
@@ -130,6 +143,7 @@ class DecodingPipeline:
         decoder = self.decoder
         decoded_before = decoder.decoded_syndromes
         memo_before = decoder.memo_hits
+        evictions_before = decoder.memo_evictions
 
         t0 = time.perf_counter()
         samples = self._sim.reseed(seed).sample(shots)
@@ -160,4 +174,6 @@ class DecodingPipeline:
             empty_shots=empty_shots,
             sample_seconds=t1 - t0,
             decode_seconds=t2 - t1,
+            memo_evictions=decoder.memo_evictions - evictions_before,
+            memo_size=decoder.memo_size,
         )

@@ -8,7 +8,8 @@ The scheduler closes the loop: shots are planned in geometrically growing
 whether to continue.
 
 Determinism: the plan depends only on the policy, the shard size and the
-*merged* statistics after complete waves - never on which worker produced
+*merged* statistics after complete waves - never on which worker (or which
+host: the scheduler is equally blind to every execution backend) produced
 which shard - so the sequence of (shard index, shard shots) pairs, and hence
 the result, is identical for any worker count.
 

@@ -4,10 +4,14 @@ A :class:`TaskSpec` is a *complete, self-contained* description of a unit of
 Monte-Carlo work, built only from primitive values (ints, floats, strings,
 tuples).  That buys three things at once:
 
-* tasks can be pickled to worker processes without dragging circuit or
-  decoder objects across the process boundary;
+* tasks can be pickled to worker processes — local pool workers and remote
+  ``repro.engine.worker`` hosts alike — without dragging circuit or decoder
+  objects across the process (or machine) boundary;
 * tasks have a **stable content hash** (canonical JSON + SHA-256), which keys
-  the on-disk result cache and the per-worker circuit/decoder memo;
+  the on-disk result cache and the per-worker circuit/decoder memo; cache
+  keys add only what else determines the numbers (seed fingerprint, shot
+  policy, shard size) and never where the work ran — execution backend,
+  worker count and host list are all result-invariant;
 * reconstruction is deterministic - ``adapt_patch`` and the circuit builders
   are pure functions of the spec fields, so every process rebuilds exactly
   the same computation.

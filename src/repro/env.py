@@ -1,9 +1,10 @@
 """Validated parsing of ``REPRO_*`` environment variables.
 
 Every runtime knob the library reads from the environment goes through
-:func:`env_int`, so a typo'd or out-of-range value fails immediately with a
-message naming the variable — instead of a bare ``int()`` traceback deep in
-an engine worker, or (worse) a silently accepted negative limit.
+:func:`env_int` / :func:`env_choice` / :func:`env_hosts`, so a typo'd or
+out-of-range value fails immediately with a message naming the variable —
+instead of a bare ``int()`` traceback deep in an engine worker, or (worse)
+a silently accepted negative limit.
 
 The helpers deliberately live in a leaf module with no intra-package
 imports: they are shared by :mod:`repro.decoder.base`,
@@ -14,9 +15,9 @@ opposite sides of the decoder/engine dependency edge.
 from __future__ import annotations
 
 import os
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence, Tuple
 
-__all__ = ["env_int"]
+__all__ = ["env_int", "env_choice", "env_hosts"]
 
 
 def env_int(
@@ -46,3 +47,71 @@ def env_int(
     if minimum is not None and value < minimum:
         raise ValueError(f"{name} must be >= {minimum}, got {value}")
     return value
+
+
+def env_choice(
+    name: str,
+    default: str,
+    choices: Sequence[str],
+    *,
+    env: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Read an enumerated variable ``name``, falling back to ``default``.
+
+    The value is stripped and lower-cased before matching, so
+    ``REPRO_BACKEND=Process`` means ``"process"``; anything outside
+    ``choices`` raises a ``ValueError`` naming the variable and the valid
+    values.
+    """
+    env = os.environ if env is None else env
+    raw = env.get(name)
+    if raw is None or str(raw).strip() == "":
+        return default
+    value = str(raw).strip().lower()
+    if value not in choices:
+        raise ValueError(
+            f"{name} must be one of {', '.join(choices)}; got {raw!r}"
+        )
+    return value
+
+
+def env_hosts(
+    name: str,
+    *,
+    env: Optional[Mapping[str, str]] = None,
+) -> Tuple[Tuple[str, int], ...]:
+    """Read a comma-separated ``host:port`` list (e.g. ``REPRO_HOSTS``).
+
+    ``"127.0.0.1:7931,127.0.0.1:7932"`` parses to
+    ``(("127.0.0.1", 7931), ("127.0.0.1", 7932))``.  An unset or empty
+    variable yields ``()``.  Every entry must carry an explicit port in
+    ``[1, 65535]`` — a bare hostname, a garbage port or an empty list item
+    raises a ``ValueError`` naming the variable and the offending entry.
+    Entries may repeat: listing a host twice gives it two job slots.
+    """
+    env = os.environ if env is None else env
+    raw = env.get(name)
+    if raw is None or str(raw).strip() == "":
+        return ()
+    hosts = []
+    for entry in str(raw).split(","):
+        entry = entry.strip()
+        if not entry:
+            raise ValueError(f"{name} contains an empty host entry: {raw!r}")
+        host, sep, port_text = entry.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"{name} entries must be host:port, got {entry!r}"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"{name} entry {entry!r} has a non-integer port"
+            ) from None
+        if not 1 <= port <= 65535:
+            raise ValueError(
+                f"{name} entry {entry!r} has an out-of-range port"
+            )
+        hosts.append((host, port))
+    return tuple(hosts)

@@ -79,21 +79,23 @@ def _pool_engine(engine: Optional[Engine]) -> Optional[Engine]:
     """Engine to hand to the yield Monte-Carlo paths.
 
     An explicitly passed engine always wins.  Otherwise the env-configured
-    default engine is used only when it actually brings something: a worker
-    pool, or (since yield runs route through cacheable ``YieldTask`` specs)
-    an on-disk result cache.  With neither, the serial yield path keeps its
+    default engine is used only when it actually brings something: parallel
+    execution slots (a process pool via ``REPRO_WORKERS``, or a remote
+    socket fleet via ``REPRO_BACKEND=socket`` + ``REPRO_HOSTS``), or
+    (since yield runs route through cacheable ``YieldTask`` specs) an
+    on-disk result cache.  With neither, the serial yield path keeps its
     legacy sequential RNG stream (seed compatibility), whereas the engine
     path re-keys sample ``i`` to RNG child stream ``i`` — deterministic for
-    any worker count, but a different stream split than the legacy loop.
-    Consequence (documented in the README): enabling ``REPRO_CACHE`` alone
-    now shifts seeded yield figures once, exactly like enabling
-    ``REPRO_WORKERS`` always has; the shifted numbers are then stable and
-    cache-hit reproducible.
+    any worker or host count, but a different stream split than the legacy
+    loop.  Consequence (documented in the README): enabling
+    ``REPRO_CACHE``, ``REPRO_WORKERS`` or a parallel ``REPRO_BACKEND``
+    shifts seeded yield figures once; the shifted numbers are then stable
+    and cache-hit reproducible.
     """
     if engine is not None:
         return engine
     default = default_engine()
-    if default.config.max_workers > 1 or default.cache is not None:
+    if default.parallel_slots > 1 or default.cache is not None:
         return default
     return None
 

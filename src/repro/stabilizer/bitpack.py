@@ -84,7 +84,23 @@ def unpack_bits(words: np.ndarray, count: int) -> np.ndarray:
     return bits.astype(bool)
 
 
+# numpy >= 2.0 exposes a native SIMD popcount ufunc; older numpy falls back
+# to unpacking bytes to bits and summing (8x the memory traffic).  Both
+# paths count the same bits, so this is invisible in every result — the
+# tests assert bit-identical counts across the two implementations.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount_unpack(words: np.ndarray) -> int:
+    """Fallback popcount via ``np.unpackbits`` (pre-2.0 numpy)."""
+    return int(np.unpackbits(words.view(np.uint8), bitorder="little").sum())
+
+
 def popcount(words: np.ndarray) -> int:
     """Total number of set bits (padding bits are zero by construction)."""
     words = np.ascontiguousarray(words, dtype=np.uint64)
-    return int(np.unpackbits(words.view(np.uint8), bitorder="little").sum())
+    if _HAS_BITWISE_COUNT:
+        # Sum in uint64: per-word counts are <= 64, and a frame would need
+        # 2**58 words before the total could wrap.
+        return int(np.bitwise_count(words).sum(dtype=np.uint64))
+    return _popcount_unpack(words)

@@ -1,11 +1,12 @@
 """Validated ``REPRO_*`` environment parsing.
 
-One helper (:func:`repro.env.env_int`) backs every integer knob —
-``REPRO_WORKERS``, ``REPRO_SHARD_SIZE``, ``REPRO_CHUNK_SHOTS``,
-``REPRO_SYNDROME_CACHE`` — so garbage and out-of-range values fail fast
-with the variable's name in the message instead of a bare ``int()``
-traceback (or, as ``REPRO_SYNDROME_CACHE`` once did, a silently accepted
-negative limit).
+Three helpers back every knob: :func:`repro.env.env_int` for the integer
+variables (``REPRO_WORKERS``, ``REPRO_SHARD_SIZE``, ``REPRO_CHUNK_SHOTS``,
+``REPRO_SYNDROME_CACHE``), :func:`repro.env.env_choice` for the enumerated
+``REPRO_BACKEND`` and :func:`repro.env.env_hosts` for the ``REPRO_HOSTS``
+worker list — so garbage and out-of-range values fail fast with the
+variable's name in the message instead of a bare traceback (or, as
+``REPRO_SYNDROME_CACHE`` once did, a silently accepted negative limit).
 """
 
 import pytest
@@ -13,7 +14,7 @@ import pytest
 from repro.decoder.base import syndrome_cache_limit
 from repro.engine.executor import EngineConfig
 from repro.engine.pipeline import default_chunk_shots
-from repro.env import env_int
+from repro.env import env_choice, env_hosts, env_int
 
 
 class TestEnvInt:
@@ -66,6 +67,41 @@ class TestChunkShots:
     def test_invalid_rejected_with_name(self, raw):
         with pytest.raises(ValueError, match="REPRO_CHUNK_SHOTS"):
             default_chunk_shots(env={"REPRO_CHUNK_SHOTS": raw})
+
+
+class TestEnvChoice:
+    CHOICES = ("serial", "process", "socket")
+
+    def test_missing_and_empty_yield_default(self):
+        assert env_choice("REPRO_B", "process", self.CHOICES, env={}) == "process"
+        assert env_choice("REPRO_B", "process", self.CHOICES,
+                          env={"REPRO_B": "  "}) == "process"
+
+    def test_case_and_whitespace_normalised(self):
+        assert env_choice("REPRO_B", "process", self.CHOICES,
+                          env={"REPRO_B": " Socket "}) == "socket"
+
+    def test_invalid_names_variable_and_choices(self):
+        with pytest.raises(ValueError, match="REPRO_B.*serial, process, socket"):
+            env_choice("REPRO_B", "process", self.CHOICES,
+                       env={"REPRO_B": "mainframe"})
+
+
+class TestEnvHosts:
+    def test_missing_and_empty_yield_no_hosts(self):
+        assert env_hosts("REPRO_H", env={}) == ()
+        assert env_hosts("REPRO_H", env={"REPRO_H": "  "}) == ()
+
+    def test_parses_list_with_whitespace_and_duplicates(self):
+        got = env_hosts("REPRO_H",
+                        env={"REPRO_H": "a:1, b:2 ,a:1"})
+        assert got == (("a", 1), ("b", 2), ("a", 1))  # dup = extra slot
+
+    @pytest.mark.parametrize("raw", ["justahost", "h:", ":7931", "h:abc",
+                                     "h:0", "h:70000", "a:1,,b:2"])
+    def test_malformed_entries_rejected_with_name(self, raw):
+        with pytest.raises(ValueError, match="REPRO_H"):
+            env_hosts("REPRO_H", env={"REPRO_H": raw})
 
 
 class TestEngineConfigFromEnv:

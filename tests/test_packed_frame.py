@@ -94,6 +94,32 @@ class TestBitpack:
         packed = pack_bits(np.ones(3, dtype=bool))
         assert popcount(packed) == 3
 
+    @pytest.mark.parametrize("shape", [(1,), (17,), (5, 9), (3, 1), (128,)])
+    def test_popcount_fast_path_matches_fallback(self, shape):
+        """The np.bitwise_count fast path (numpy >= 2.0) and the
+        unpackbits fallback must count bit-identically on any word
+        pattern, including all-ones and empty words."""
+        from repro.stabilizer import bitpack
+
+        rng = np.random.default_rng(42)
+        words = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        words.flat[0] = 0
+        words.flat[-1] = np.uint64(2**64 - 1)
+        expected = bitpack._popcount_unpack(np.ascontiguousarray(words))
+        assert popcount(words) == expected
+        if bitpack._HAS_BITWISE_COUNT:
+            assert int(np.bitwise_count(words).sum()) == expected
+
+    def test_popcount_fallback_used_when_bitwise_count_missing(self, monkeypatch):
+        """Pre-2.0 numpy takes the unpackbits path and counts identically."""
+        from repro.stabilizer import bitpack
+
+        words = np.random.default_rng(7).integers(0, 2**64, size=33,
+                                                  dtype=np.uint64)
+        with_fast = popcount(words)
+        monkeypatch.setattr(bitpack, "_HAS_BITWISE_COUNT", False)
+        assert popcount(words) == with_fast
+
     @pytest.mark.parametrize("n", [1, 63, 64, 65, 130])
     def test_pack_rows_matches_per_row_pack_bits(self, n):
         rng = np.random.default_rng(n)

@@ -126,6 +126,29 @@ class TestPipelineStats:
         with pytest.raises(ValueError):
             DecodingPipeline(circuit, _decoder(circuit)).run(0)
 
+    def test_memo_counters_surfaced(self, monkeypatch):
+        """The syndrome-memo hit/eviction counters flow through the stats
+        (and from there into the BENCH decoder artifacts), so
+        REPRO_SYNDROME_CACHE can be sized from CI data."""
+        monkeypatch.setenv("REPRO_SYNDROME_CACHE", "2")
+        circuit = _circuit(p=0.006)
+        tiny = DecodingPipeline(circuit, _decoder(circuit), chunk_shots=25)
+        stats = tiny.run(150, seed=13)
+        # A 2-entry memo cannot hold this run's distinct syndromes: the
+        # churn must be visible, and the memo pinned at its limit.
+        assert stats.memo_evictions > 0
+        assert stats.memo_size == 2
+        assert stats.memo_pressure > 0.0
+
+        monkeypatch.setenv("REPRO_SYNDROME_CACHE", "65536")
+        roomy = DecodingPipeline(circuit, _decoder(circuit), chunk_shots=25)
+        relaxed = roomy.run(150, seed=13)
+        assert relaxed.memo_evictions == 0
+        assert relaxed.memo_pressure == 0.0
+        assert relaxed.memo_size == relaxed.distinct_syndromes
+        # Eviction pressure is observability only — never the numbers.
+        assert relaxed.failures == stats.failures
+
 
 class TestFixedSeedFailureCounts:
     """Frozen end-to-end tallies: the vectorised sampler (and any future
