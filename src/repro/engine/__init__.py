@@ -46,19 +46,24 @@ from .executor import (
     EngineConfig,
     LerResult,
     SweepItem,
+    WaveUpdate,
     default_engine,
+    ler_cache_key,
+    seeded_task_key,
     set_default_engine,
 )
 from .rng import Seed, as_seed_sequence, child_stream, seed_fingerprint, spawn_streams
 from .scheduler import ShotPolicy, ShotScheduler
 from .tasks import (
     ENGINE_SCHEMA_VERSION,
+    TASK_KINDS,
     CutoffCellTask,
     LerPointTask,
     NoiseSpec,
     PatchSampleTask,
     TaskSpec,
     YieldTask,
+    task_from_payload,
 )
 
 __all__ = [
@@ -75,8 +80,11 @@ __all__ = [
     "EngineConfig",
     "LerResult",
     "SweepItem",
+    "WaveUpdate",
     "default_engine",
     "set_default_engine",
+    "ler_cache_key",
+    "seeded_task_key",
     "ResultCache",
     "Seed",
     "as_seed_sequence",
@@ -86,10 +94,12 @@ __all__ = [
     "ShotPolicy",
     "ShotScheduler",
     "ENGINE_SCHEMA_VERSION",
+    "TASK_KINDS",
     "CutoffCellTask",
     "LerPointTask",
     "NoiseSpec",
     "PatchSampleTask",
     "TaskSpec",
     "YieldTask",
+    "task_from_payload",
 ]

@@ -55,7 +55,16 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: dict) -> None:
-        """Atomically persist a record under the current schema version."""
+        """Crash-safely persist a record under the current schema version.
+
+        The record is written to a ``.tmp`` file in the cache root, flushed
+        and fsynced, and only then :func:`os.replace`-d into place — so a
+        worker killed at *any* instant (including mid-``write``, or between
+        write and rename) can never leave a torn JSON file under the
+        record's final name for other workers or service processes to read.
+        Leftover ``.tmp`` files from killed writers are invisible to
+        :meth:`get`/:meth:`keys` and are swept by :meth:`clear`.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         body = dict(record)
@@ -64,6 +73,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(body, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -81,14 +92,35 @@ class ResultCache:
             return False
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _is_record_name(sub_name: str, stem: str) -> bool:
+        """Whether ``<sub_name>/<stem>.json`` is a cache record of ours.
+
+        Records live at ``<key[:2]>/<key>.json`` with a hex-digest key, so
+        anything else under the cache root — the service's SQLite database,
+        its ``-wal``/``-shm`` siblings, editor temp files, a stray README —
+        is a *foreign file* that must be invisible to :meth:`keys` and
+        untouched by :meth:`clear`.
+        """
+        return (len(sub_name) == 2
+                and len(stem) > 2
+                and stem[:2] == sub_name
+                and all(c in "0123456789abcdef" for c in stem))
+
     def keys(self) -> Iterator[str]:
-        """All keys currently on disk (any schema version)."""
+        """All record keys currently on disk (any schema version).
+
+        Foreign files living under the cache root (e.g. a co-located
+        service database or editor droppings) are skipped, not yielded as
+        pseudo-keys that would later crash :meth:`path_for`.
+        """
         if not self.root.is_dir():
             return
         for sub in sorted(self.root.iterdir()):
             if sub.is_dir():
                 for f in sorted(sub.glob("*.json")):
-                    yield f.stem
+                    if self._is_record_name(sub.name, f.stem):
+                        yield f.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
@@ -98,9 +130,19 @@ class ResultCache:
         return self.get(key) is not None
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every record (plus orphaned ``.tmp`` files from killed
+        writers); returns the number of records removed.  Foreign files are
+        left alone."""
         removed = 0
         for key in list(self.keys()):
             if self.invalidate(key):
                 removed += 1
+        if self.root.is_dir():
+            for sub in self.root.iterdir():
+                if sub.is_dir() and len(sub.name) == 2:
+                    for tmp in sub.glob("tmp*.tmp"):
+                        try:
+                            os.unlink(tmp)
+                        except OSError:
+                            pass
         return removed

@@ -54,9 +54,12 @@ __all__ = [
     "EngineConfig",
     "LerResult",
     "SweepItem",
+    "WaveUpdate",
     "Engine",
     "default_engine",
     "set_default_engine",
+    "ler_cache_key",
+    "seeded_task_key",
 ]
 
 
@@ -184,6 +187,28 @@ class SweepItem:
     seed: Seed = None
 
 
+@dataclass(frozen=True)
+class WaveUpdate:
+    """Progress of one sweep item after a scheduler wave merged.
+
+    Delivered to the ``on_wave`` callback of :meth:`Engine.run_sweep` from
+    the submitting process, in the deterministic wave order of each item
+    (waves of *different* items may interleave with backend timing, but an
+    item's own updates always arrive in wave order with strictly growing
+    cumulative counts).  ``failures``/``shots`` are the item's merged totals
+    so far — exactly what the scheduler's next stop decision will see — so a
+    service layer can persist them as a partial result without re-deriving
+    any statistics.
+    """
+
+    index: int          # position of the item in the sweep
+    wave: int           # 0-based merged-wave counter of this item
+    wave_failures: int  # failures contributed by this wave alone
+    wave_shots: int     # shots contributed by this wave alone
+    failures: int       # cumulative failures after the merge
+    shots: int          # cumulative shots after the merge
+
+
 class _SweepTaskRun:
     """Mutable progress of one sweep item while its shards are in flight.
 
@@ -210,6 +235,7 @@ class _SweepTaskRun:
         self.wave_shards: List[Tuple[int, int]] = []
         self.wave_outs: List[Optional[Tuple[int, int, int]]] = []
         self.wave_pending = 0
+        self.waves_merged = 0
 
     def shard_seed(self, shard_index: int) -> Seed:
         if self.single_shard:
@@ -227,14 +253,21 @@ class _SweepTaskRun:
         self.wave_pending -= 1
         return self.wave_pending == 0
 
-    def merge_wave(self) -> None:
+    def merge_wave(self) -> WaveUpdate:
         outs = self.wave_outs
         wave_failures = sum(o[0] for o in outs)
+        wave_shots = sum(n for _, n in self.wave_shards)
         self.num_detectors, self.num_dem = outs[0][1], outs[0][2]
         self.failures += wave_failures
         self.num_shards += len(outs)
-        self.sched.record(wave_failures,
-                          sum(n for _, n in self.wave_shards))
+        self.sched.record(wave_failures, wave_shots)
+        update = WaveUpdate(index=self.index, wave=self.waves_merged,
+                            wave_failures=wave_failures,
+                            wave_shots=wave_shots,
+                            failures=self.failures,
+                            shots=self.sched.shots_done)
+        self.waves_merged += 1
+        return update
 
     def result(self) -> LerResult:
         return LerResult(task=self.item.task, failures=self.failures,
@@ -344,14 +377,42 @@ def _run_yield_block(task: YieldTask, root_fp, start: int, stop: int) -> tuple:
                                  start, stop)
 
 
-def _seeded_task_key(task, fp) -> str:
+def seeded_task_key(task, fp) -> str:
     """Cache key for runs fully determined by (task, seed fingerprint).
 
     Used by the yield and patch-sample paths, whose results depend on no
     other execution knob; LER keys additionally cover policy and shard size
-    (:meth:`Engine._cache_key`).
+    (:func:`ler_cache_key`).  Module-level so out-of-process layers (the
+    service's coalescer and its cache-hit probe) mint exactly the key an
+    engine run will write.
     """
     body = {"task": task.content_hash(), "seed": [list(fp[0]), list(fp[1])]}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+_seeded_task_key = seeded_task_key  # backward-compatible private alias
+
+
+def ler_cache_key(task: LerPointTask, seed: Seed, policy: ShotPolicy,
+                  shard_size: int) -> Optional[str]:
+    """Cache key of one LER run: everything that determines the numbers.
+
+    Worker count, backend and hosts are deliberately excluded: results are
+    invariant to where shards run (the backend parity suite enforces it), so
+    a result computed by a remote socket fleet answers a later serial run
+    and vice versa.  ``shard_size`` is included because the multi-shard
+    stream split depends on it.  Returns ``None`` for unseeded runs, which
+    are not reproducible and must never be cached (or coalesced).
+    """
+    fp = seed_fingerprint(seed)
+    if fp is None:
+        return None
+    body = {
+        "task": task.content_hash(),
+        "seed": [list(fp[0]), list(fp[1])],
+        "policy": policy.payload(),
+        "shard_size": shard_size,
+    }
     return hashlib.sha256(canonical_json(body).encode()).hexdigest()
 
 
@@ -415,24 +476,8 @@ class Engine:
         return self.backend.parallel_slots
 
     def _cache_key(self, task, seed: Seed, policy: ShotPolicy) -> Optional[str]:
-        """Key covering everything that determines the numbers.
-
-        ``max_workers``, ``backend`` and ``hosts`` are deliberately
-        excluded: results are invariant to where shards run (the backend
-        parity suite enforces it), so a result computed by a remote socket
-        fleet answers a later serial run and vice versa.  ``shard_size``
-        is included because the multi-shard stream split depends on it.
-        """
-        fp = seed_fingerprint(seed)
-        if fp is None:
-            return None
-        body = {
-            "task": task.content_hash(),
-            "seed": [list(fp[0]), list(fp[1])],
-            "policy": policy.payload(),
-            "shard_size": self.config.shard_size,
-        }
-        return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+        """This engine's key for one LER run (see :func:`ler_cache_key`)."""
+        return ler_cache_key(task, seed, policy, self.config.shard_size)
 
     def starmap(self, fn, jobs: Sequence[tuple]) -> List:
         """Run ``fn(*job)`` for every job, in order, on the backend.
@@ -455,13 +500,16 @@ class Engine:
         shots: Optional[int] = None,
         policy: Optional[ShotPolicy] = None,
         seed: Seed = None,
+        on_wave=None,
     ) -> LerResult:
         """Run one LER task to completion under a shot policy.
 
         Exactly one of ``shots`` (fixed budget) or ``policy`` must be given.
+        ``on_wave`` receives a :class:`WaveUpdate` after each merged wave.
         """
         policy = self._resolve_policy(shots, policy)
-        return self.run_sweep([SweepItem(task, policy, seed)])[0]
+        return self.run_sweep([SweepItem(task, policy, seed)],
+                              on_wave=on_wave)[0]
 
     def run_ler_many(
         self,
@@ -470,6 +518,7 @@ class Engine:
         shots: Optional[int] = None,
         policy: Optional[ShotPolicy] = None,
         seed: Seed = None,
+        on_wave=None,
     ) -> List[LerResult]:
         """Run a batch of LER tasks; task ``i`` uses RNG child stream ``i``.
 
@@ -488,10 +537,12 @@ class Engine:
             root = as_seed_sequence(seed)
             seeds = [child_stream(root, i) for i in range(len(tasks))]
         return self.run_sweep([SweepItem(task, policy, s)
-                               for task, s in zip(tasks, seeds)])
+                               for task, s in zip(tasks, seeds)],
+                              on_wave=on_wave)
 
     # ------------------------------------------------------------------
-    def run_sweep(self, items: Sequence[SweepItem]) -> List[LerResult]:
+    def run_sweep(self, items: Sequence[SweepItem], *,
+                  on_wave=None) -> List[LerResult]:
         """Run a batch of sweep items with cross-task shard interleaving.
 
         Every pending item gets its own :class:`ShotScheduler`; the planned
@@ -509,6 +560,15 @@ class Engine:
         Items mix policies freely (the cutoff sweep's fixed cells next to an
         adaptive low-p point); cache hits are resolved up front and misses
         are written back per item as each item finishes.
+
+        ``on_wave`` is an optional callback invoked in the submitting
+        process with a :class:`WaveUpdate` after each item's wave merges —
+        the hook partial-result consumers (the service's wave-by-wave
+        persistence) build on.  It fires *before* the item's next wave is
+        planned, so an exception raised by the callback (e.g. a job
+        cancellation) aborts the sweep cleanly: outstanding shards are
+        cancelled on the backend and the exception propagates.  Items
+        resolved from cache never produce updates.
         """
         results: List[Optional[LerResult]] = [None] * len(items)
         runs: List[_SweepTaskRun] = []
@@ -524,7 +584,7 @@ class Engine:
             runs.append(run)
 
         if runs:
-            self._run_sweep_backend(runs, results)
+            self._run_sweep_backend(runs, results, on_wave)
         return results  # type: ignore[return-value]
 
     def _finish_sweep_run(self, run: _SweepTaskRun, result: LerResult,
@@ -534,11 +594,16 @@ class Engine:
             self._cache.put(run.key, _ler_cache_record(run.item.task, result))
 
     def _run_sweep_backend(self, runs: List[_SweepTaskRun],
-                           results: List[Optional[LerResult]]) -> None:
+                           results: List[Optional[LerResult]],
+                           on_wave=None) -> None:
         """Interleaved execution: one backend, shards of all runs in flight."""
         backend = self.backend
         pending: Dict = {}  # Future -> (run, wave slot)
         unfinished = len(runs)
+
+        def notify(update: WaveUpdate) -> None:
+            if on_wave is not None:
+                on_wave(update)
 
         def submit_next_wave(run: _SweepTaskRun) -> None:
             nonlocal unfinished
@@ -559,7 +624,7 @@ class Engine:
                     run.begin_wave(wave)
                     run.complete_slot(0, _run_ler_shard(
                         run.item.task, run.shard_seed(idx), n))
-                    run.merge_wave()
+                    notify(run.merge_wave())
                     continue
                 run.begin_wave(wave)
                 for slot, (idx, n) in enumerate(wave):
@@ -577,7 +642,7 @@ class Engine:
                 for fut in done:
                     run, slot = pending.pop(fut)
                     if run.complete_slot(slot, fut.result()):
-                        run.merge_wave()
+                        notify(run.merge_wave())
                         submit_next_wave(run)
         except BaseException as exc:
             # A failing shard (or an interrupt) must not strand the other

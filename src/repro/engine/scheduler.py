@@ -112,6 +112,36 @@ class ShotPolicy:
             "growth": self.growth,
         }
 
+    def estimated_cost(self, shard_size: int = 4096,
+                       expected_rate: float = 0.0) -> int:
+        """Expected total shots under this policy (scheduler ranking metric).
+
+        Drives a real :class:`ShotScheduler` through its wave plan, crediting
+        each wave with the failures a task of logical error rate
+        ``expected_rate`` would be expected to produce (cumulative count
+        rounded down, so the estimate is a deterministic integer), and
+        returns the shots spent when the plan stops.  With the conservative
+        default ``expected_rate=0.0`` no early-stop target is ever met, so
+        the estimate is the policy's worst case — exactly ``max_shots`` —
+        while a positive rate prices in adaptive early stopping.  The
+        returned number is what the actual scheduler would spend on a task
+        whose merged waves produced those failure counts, which is what the
+        unit tests pin it against.
+        """
+        if expected_rate < 0.0:
+            raise ValueError("expected_rate must be non-negative")
+        sched = ShotScheduler(self, shard_size)
+        credited = 0
+        while True:
+            wave = sched.next_wave()
+            if not wave:
+                return sched.shots_done
+            wave_shots = sum(n for _, n in wave)
+            expected = int(expected_rate * (sched.shots_done + wave_shots))
+            failures = min(max(expected - credited, 0), wave_shots)
+            credited += failures
+            sched.record(failures, wave_shots)
+
 
 class ShotScheduler:
     """Stateful wave planner for one task.

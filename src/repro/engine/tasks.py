@@ -55,6 +55,8 @@ __all__ = [
     "CutoffCellTask",
     "PatchSampleTask",
     "YieldTask",
+    "TASK_KINDS",
+    "task_from_payload",
     "canonical_json",
 ]
 
@@ -127,6 +129,19 @@ class NoiseSpec:
             "reset_factor": self.reset_factor,
             "bad_qubits": [[[c[0], c[1]], r] for c, r in self.bad_qubits],
         }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "NoiseSpec":
+        """Inverse of :meth:`payload` (JSON lists back to hashable tuples)."""
+        return cls(
+            p=float(payload["p"]),
+            single_qubit_factor=float(payload["single_qubit_factor"]),
+            readout_factor=float(payload["readout_factor"]),
+            idle_data_factor=float(payload["idle_data_factor"]),
+            reset_factor=float(payload["reset_factor"]),
+            bad_qubits=tuple(((int(c[0]), int(c[1])), float(r))
+                             for c, r in payload["bad_qubits"]),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -239,6 +254,35 @@ class LerPointTask(TaskSpec):
             "decoder": self.decoder,
         }
 
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LerPointTask":
+        """Inverse of :meth:`payload`: rebuild the frozen spec from JSON data.
+
+        Round-trip safe: ``type(t).from_payload(t.payload())`` equals ``t``
+        and shares its content hash, which is what lets a service job store
+        persist task payloads and hand them to workers on other machines.
+        Field validation reruns in ``__post_init__``, so a tampered payload
+        fails loudly instead of building a nonsense task.
+        """
+        return cls(
+            experiment=str(payload["experiment"]),
+            layout_kind=str(payload["layout_kind"]),
+            size=int(payload["size"]),
+            faulty_qubits=_coords(payload["faulty_qubits"]),
+            faulty_links=_links(payload["faulty_links"]),
+            physical_error_rate=float(payload["physical_error_rate"]),
+            rounds=int(payload["rounds"]),
+            noise=NoiseSpec.from_payload(payload["noise"]),
+            decoder=str(payload["decoder"]),
+            **cls._extra_fields_from_payload(payload),
+        )
+
+    @classmethod
+    def _extra_fields_from_payload(cls, payload: dict) -> dict:
+        """Subclass hook: extra constructor kwargs carried in the payload."""
+        return {}
+
 
 @dataclass(frozen=True)
 class CutoffCellTask(LerPointTask):
@@ -265,6 +309,12 @@ class CutoffCellTask(LerPointTask):
         out["strategy"] = self.strategy
         out["bad_qubit_error_rate"] = self.bad_qubit_error_rate
         return out
+
+    @classmethod
+    def _extra_fields_from_payload(cls, payload: dict) -> dict:
+        rate = payload["bad_qubit_error_rate"]
+        return {"strategy": str(payload["strategy"]),
+                "bad_qubit_error_rate": None if rate is None else float(rate)}
 
 
 @dataclass(frozen=True)
@@ -315,6 +365,19 @@ class PatchSampleTask(TaskSpec):
             "require_valid": self.require_valid,
             "max_attempts_factor": self.max_attempts_factor,
         }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PatchSampleTask":
+        """Inverse of :meth:`payload` (see :meth:`LerPointTask.from_payload`)."""
+        return cls(
+            size=int(payload["size"]),
+            defect_model_kind=str(payload["defect_model_kind"]),
+            defect_rate=float(payload["defect_rate"]),
+            num_patches=int(payload["num_patches"]),
+            min_distance=int(payload["min_distance"]),
+            require_valid=bool(payload["require_valid"]),
+            max_attempts_factor=int(payload["max_attempts_factor"]),
+        )
 
 
 _CRITERIA = ("distance", "defect_free")
@@ -442,3 +505,63 @@ class YieldTask(TaskSpec):
             "allow_rotation": self.allow_rotation,
             "boundary": None if self.boundary is None else list(self.boundary),
         }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "YieldTask":
+        """Inverse of :meth:`payload` (see :meth:`LerPointTask.from_payload`)."""
+        crit = payload["criterion"]
+        target = crit["target_distance"]
+        boundary = payload["boundary"]
+        if boundary is not None:
+            name, no_deformation, all_edges, b_target = boundary
+            boundary = (str(name), bool(no_deformation), bool(all_edges),
+                        None if b_target is None else int(b_target))
+        return cls(
+            chiplet_size=int(payload["chiplet_size"]),
+            defect_model_kind=str(payload["defect_model_kind"]),
+            defect_rate=float(payload["defect_rate"]),
+            samples=int(payload["samples"]),
+            criterion_kind=str(crit["kind"]),
+            target_distance=None if target is None else int(target),
+            use_operator_count=bool(crit["use_operator_count"]),
+            allow_rotation=bool(payload["allow_rotation"]),
+            boundary=boundary,
+        )
+
+
+# ----------------------------------------------------------------------
+# Payload round-trip dispatch
+# ----------------------------------------------------------------------
+#: Registered task kinds, keyed by ``TaskSpec.kind`` — the dispatch table for
+#: rebuilding a frozen spec from its persisted ``payload()``.
+TASK_KINDS = {
+    LerPointTask.kind: LerPointTask,
+    CutoffCellTask.kind: CutoffCellTask,
+    PatchSampleTask.kind: PatchSampleTask,
+    YieldTask.kind: YieldTask,
+}
+
+
+def task_from_payload(kind: str, payload: dict) -> TaskSpec:
+    """Rebuild any registered task spec from ``(task.kind, task.payload())``.
+
+    The round trip preserves the content hash, so a payload persisted by a
+    service front end reconstructs to a task whose cache key — and RNG
+    streams, and therefore bytes — match a direct in-process run exactly.
+    """
+    try:
+        cls = TASK_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown task kind {kind!r}; "
+            f"valid kinds: {', '.join(sorted(TASK_KINDS))}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ValueError(f"{kind} task payload must be an object,"
+                         f" got {payload!r}")
+    try:
+        return cls.from_payload(payload)
+    except (KeyError, TypeError) as exc:
+        # Mis-shaped payloads surface as ValueError so boundary validators
+        # (e.g. the service API) can report them uniformly.
+        raise ValueError(f"malformed {kind} task payload: {exc}") from exc

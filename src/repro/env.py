@@ -17,7 +17,7 @@ from __future__ import annotations
 import os
 from typing import Mapping, Optional, Sequence, Tuple
 
-__all__ = ["env_int", "env_choice", "env_hosts"]
+__all__ = ["env_int", "env_float", "env_choice", "env_hosts"]
 
 
 def env_int(
@@ -44,6 +44,36 @@ def env_int(
         raise ValueError(
             f"{name} must be an integer, got {raw!r}"
         ) from None
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def env_float(
+    name: str,
+    default: float,
+    *,
+    minimum: Optional[float] = None,
+    env: Optional[Mapping[str, str]] = None,
+) -> float:
+    """Read float variable ``name``, falling back to ``default``.
+
+    Same contract as :func:`env_int`: unset/empty yields ``default``
+    unchecked, anything else must parse as a finite float and satisfy
+    ``minimum`` when given, or a ``ValueError`` names the variable.
+    """
+    env = os.environ if env is None else env
+    raw = env.get(name)
+    if raw is None or str(raw).strip() == "":
+        return default
+    try:
+        value = float(str(raw).strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number, got {raw!r}"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ValueError(f"{name} must be finite, got {raw!r}")
     if minimum is not None and value < minimum:
         raise ValueError(f"{name} must be >= {minimum}, got {value}")
     return value

@@ -1,0 +1,154 @@
+"""``python -m repro.service.cli`` — thin HTTP client for the service API.
+
+Stdlib only (:mod:`urllib.request`).  The server URL comes from
+``--url`` or ``REPRO_SERVICE_URL`` (default ``http://127.0.0.1:7940``).
+
+Commands::
+
+    submit [--file spec.json]   submit a job spec (default: read stdin);
+                                prints the submission response
+    status <id>                 print the job's full detail JSON
+    watch  <id>                 stream events (one JSON line each) until
+                                the job is terminal; print the final detail
+    cancel <id>                 cancel the job
+    list   [--state S]          list job summaries
+    stats                       jobs per state
+
+``watch`` exits 0 on ``done`` and 1 on ``failed``/``cancelled``, so shell
+scripts can gate on job success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from .config import service_url
+
+__all__ = ["main", "ServiceClient"]
+
+
+class ServiceClient:
+    """Minimal JSON client for one service API base URL."""
+
+    def __init__(self, base_url: Optional[str] = None, timeout: float = 60.0):
+        self.base_url = (base_url or service_url()).rstrip("/")
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, body: Optional[dict] = None):
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(self.base_url + path, data=data,
+                                     method=method)
+        if data is not None:
+            req.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            # API errors are JSON bodies with an "error" key; surface them
+            # as ordinary failures rather than tracebacks.
+            try:
+                detail = json.loads(exc.read())["error"]
+            except Exception:
+                detail = str(exc)
+            raise SystemExit(f"error: {detail} ({exc.code})")
+
+    # Convenience wrappers -------------------------------------------------
+    def submit(self, spec: dict) -> dict:
+        return self.request("POST", "/jobs", spec)
+
+    def status(self, job_id: str) -> dict:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str, since: int = -1, wait: float = 0.0) -> dict:
+        return self.request(
+            "GET", f"/jobs/{job_id}/events?since={since}&wait={wait}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("DELETE", f"/jobs/{job_id}")
+
+    def watch(self, job_id: str, *, wait: float = 10.0, emit=None) -> dict:
+        """Long-poll events until the job is terminal; returns final detail.
+
+        ``emit`` (default: print) receives each event dict as it arrives.
+        """
+        emit = emit or (lambda ev: print(json.dumps(ev, sort_keys=True),
+                                         flush=True))
+        since = -1
+        while True:
+            page = self.events(job_id, since, wait)
+            for event in page["events"]:
+                emit(event)
+            since = page["next_since"]
+            if page["state"] in ("done", "failed", "cancelled"):
+                return self.status(job_id)
+
+
+def _print(body: dict) -> None:
+    print(json.dumps(body, indent=2, sort_keys=True))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.cli",
+        description="Submit and watch jobs on a repro.service API.",
+    )
+    parser.add_argument("--url", default=None,
+                        help="API base URL (default: REPRO_SERVICE_URL)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_submit = sub.add_parser("submit", help="submit a job spec")
+    p_submit.add_argument("--file", default="-",
+                          help="spec JSON path, - for stdin (default)")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="watch the job after submitting")
+
+    for name in ("status", "watch", "cancel"):
+        p = sub.add_parser(name)
+        p.add_argument("id")
+
+    p_list = sub.add_parser("list", help="list job summaries")
+    p_list.add_argument("--state", default=None)
+
+    sub.add_parser("stats", help="jobs per state")
+
+    args = parser.parse_args(argv)
+    client = ServiceClient(args.url)
+
+    if args.command == "submit":
+        if args.file == "-":
+            spec = json.load(sys.stdin)
+        else:
+            with open(args.file) as fh:
+                spec = json.load(fh)
+        response = client.submit(spec)
+        _print(response)
+        if args.watch:
+            final = client.watch(response["id"])
+            _print(final)
+            return 0 if final["state"] == "done" else 1
+        return 0
+    if args.command == "status":
+        _print(client.status(args.id))
+        return 0
+    if args.command == "watch":
+        final = client.watch(args.id)
+        _print(final)
+        return 0 if final["state"] == "done" else 1
+    if args.command == "cancel":
+        _print(client.cancel(args.id))
+        return 0
+    if args.command == "list":
+        path = "/jobs" if args.state is None else f"/jobs?state={args.state}"
+        _print(client.request("GET", path))
+        return 0
+    _print(client.request("GET", "/stats"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Request coalescing: identical in-flight jobs share one execution.
+
+The content-addressed result cache already dedups *completed* work — a
+second identical request after the first finishes is a cache hit.  This
+module closes the remaining window: a request identical to one that is
+**queued or running right now** attaches to it as a *follower* instead of
+executing again.  Exactly one execution happens; every attached job receives
+the result (and, through the shared event stream, the same wave-by-wave
+partials).
+
+Identity is the job's *content key*: a hash over the engine cache keys its
+execution will write (:func:`repro.service.specs.spec_cache_keys`) — i.e.
+over task content hashes, seed fingerprints, shot policy and shard size.
+Two jobs with the same content key are guaranteed bit-identical outcomes,
+which is the only thing that makes handing one job's result to the other
+sound.  Unseeded jobs have no content key and never coalesce.
+
+The helpers here operate on an **open connection inside the caller's
+transaction** (see :class:`~repro.service.store.JobStore`): coalescing
+decisions must be atomic with the insert/completion they belong to, or two
+racing submissions could both become primaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from ..engine.tasks import canonical_json
+from .specs import spec_cache_keys
+
+__all__ = ["content_key", "find_live_primary", "complete_followers",
+           "promote_followers"]
+
+
+def content_key(spec: dict) -> Optional[str]:
+    """The job's execution identity, or ``None`` when it has none.
+
+    Hashes the per-unit engine cache keys, so two specs coalesce exactly
+    when every unit of work they would run is byte-for-byte the same —
+    same tasks, same seeds, same policy, same shard split.  Any unseeded
+    unit (a ``None`` cache key) makes the whole job non-reproducible and
+    therefore uncoalescable.
+    """
+    keys = spec_cache_keys(spec)
+    if any(k is None for k in keys):
+        return None
+    body = {"kind": spec["kind"], "keys": keys}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+def find_live_primary(conn, key: str) -> Optional[str]:
+    """The id of the queued/running primary for ``key``, if one exists.
+
+    Must run inside the submitter's write transaction.  Only primaries
+    (``coalesced_into IS NULL``) match, so follower chains stay one level
+    deep and completion propagation is a single UPDATE.
+    """
+    row = conn.execute(
+        "SELECT id FROM jobs WHERE content_key = ? AND"
+        " coalesced_into IS NULL AND state IN ('queued', 'running')"
+        " ORDER BY submitted_at, id LIMIT 1",
+        (key,)).fetchone()
+    return None if row is None else row[0]
+
+
+def complete_followers(conn, primary_id: str, state: str,
+                       result_json: Optional[str], error: Optional[str],
+                       now: float) -> int:
+    """Deliver a primary's outcome to every follower still waiting on it.
+
+    Runs inside the finishing worker's transaction.  Followers that were
+    individually cancelled keep their cancellation; the rest move to the
+    primary's terminal state with the same result (or error — a
+    deterministic execution would only have failed identically for them).
+    """
+    cur = conn.execute(
+        "UPDATE jobs SET state = ?, result = ?, error = ?, finished_at = ?"
+        " WHERE coalesced_into = ? AND state = 'queued'",
+        (state, result_json, error, now, primary_id))
+    return cur.rowcount
+
+
+def promote_followers(conn, primary_id: str) -> Optional[str]:
+    """After a primary is cancelled, keep its followers' work alive.
+
+    The oldest follower becomes the new primary (clears
+    ``coalesced_into``, stays ``queued``, claimable as usual); the rest
+    re-point at it.  Returns the promoted id, or ``None`` if there were no
+    followers.  Runs inside the canceller's transaction.
+    """
+    row = conn.execute(
+        "SELECT id FROM jobs WHERE coalesced_into = ? AND state = 'queued'"
+        " ORDER BY submitted_at, id LIMIT 1", (primary_id,)).fetchone()
+    if row is None:
+        return None
+    new_primary = row[0]
+    conn.execute(
+        "UPDATE jobs SET coalesced_into = NULL WHERE id = ?", (new_primary,))
+    conn.execute(
+        "UPDATE jobs SET coalesced_into = ? WHERE coalesced_into = ?"
+        " AND state = 'queued'", (new_primary, primary_id))
+    return new_primary

@@ -1,0 +1,97 @@
+"""Service configuration knobs (``REPRO_SERVICE_*`` environment variables).
+
+Every knob goes through the validated readers in :mod:`repro.env`, so a
+typo'd value fails with the variable named.  None of these affect the
+numbers a job produces — they size leases, polling and addressing only; the
+bytes are pinned by the job spec (task payload + policy + seed + shard
+size).
+
+=====================  =======================  =================================
+Variable               Default                  Meaning
+=====================  =======================  =================================
+REPRO_SERVICE_DB       ``.repro-service.db``    SQLite job-store path
+REPRO_SERVICE_LEASE    ``60``                   worker lease seconds; a job whose
+                                                lease expires is re-dispatched
+REPRO_SERVICE_HOST     ``127.0.0.1``            API bind interface
+REPRO_SERVICE_PORT     ``7940``                 API TCP port (0 = OS-assigned)
+REPRO_SERVICE_POLL     ``0.5``                  worker idle poll seconds
+REPRO_SERVICE_AGING    ``0.05``                 scheduler aging rate (per second
+                                                cost discount; anti-starvation)
+REPRO_SERVICE_URL      ``http://127.0.0.1:7940``  base URL the CLI talks to
+=====================  =======================  =================================
+
+The lease must comfortably exceed the longest *wave* of any job (the worker
+heartbeats at wave boundaries); if a healthy worker does overrun its lease,
+the job is merely executed twice — determinism makes the duplicate
+bit-identical and the store's ownership guard lets exactly one finish win.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Optional, Tuple
+
+from ..env import env_float, env_int
+
+__all__ = [
+    "service_db_path",
+    "service_lease_seconds",
+    "service_host_port",
+    "service_poll_seconds",
+    "service_aging_rate",
+    "service_url",
+]
+
+DEFAULT_DB = ".repro-service.db"
+DEFAULT_LEASE = 60.0
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7940
+DEFAULT_POLL = 0.5
+DEFAULT_AGING = 0.05
+
+
+def service_db_path(env: Optional[Mapping[str, str]] = None) -> str:
+    """Job-store path from ``REPRO_SERVICE_DB`` (default ``.repro-service.db``)."""
+    env = os.environ if env is None else env
+    raw = env.get("REPRO_SERVICE_DB")
+    return raw if raw else DEFAULT_DB
+
+
+def service_lease_seconds(env: Optional[Mapping[str, str]] = None) -> float:
+    """Worker lease duration from ``REPRO_SERVICE_LEASE`` (seconds, > 0)."""
+    value = env_float("REPRO_SERVICE_LEASE", DEFAULT_LEASE, env=env)
+    if value <= 0:
+        raise ValueError(f"REPRO_SERVICE_LEASE must be positive, got {value}")
+    return value
+
+
+def service_host_port(env: Optional[Mapping[str, str]] = None) -> Tuple[str, int]:
+    """API bind address from ``REPRO_SERVICE_HOST`` / ``REPRO_SERVICE_PORT``."""
+    env = os.environ if env is None else env
+    host = env.get("REPRO_SERVICE_HOST") or DEFAULT_HOST
+    port = env_int("REPRO_SERVICE_PORT", DEFAULT_PORT, minimum=0, env=env)
+    if port > 65535:
+        raise ValueError(f"REPRO_SERVICE_PORT out of range: {port}")
+    return host, port
+
+
+def service_poll_seconds(env: Optional[Mapping[str, str]] = None) -> float:
+    """Worker idle-poll interval from ``REPRO_SERVICE_POLL`` (seconds, > 0)."""
+    value = env_float("REPRO_SERVICE_POLL", DEFAULT_POLL, env=env)
+    if value <= 0:
+        raise ValueError(f"REPRO_SERVICE_POLL must be positive, got {value}")
+    return value
+
+
+def service_aging_rate(env: Optional[Mapping[str, str]] = None) -> float:
+    """Scheduler anti-starvation rate from ``REPRO_SERVICE_AGING`` (>= 0)."""
+    return env_float("REPRO_SERVICE_AGING", DEFAULT_AGING, minimum=0.0, env=env)
+
+
+def service_url(env: Optional[Mapping[str, str]] = None) -> str:
+    """Base URL the CLI targets, from ``REPRO_SERVICE_URL``."""
+    env = os.environ if env is None else env
+    raw = env.get("REPRO_SERVICE_URL")
+    if raw:
+        return raw.rstrip("/")
+    return f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"

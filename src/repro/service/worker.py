@@ -1,0 +1,11 @@
+"""``python -m repro.service.worker`` — drain jobs from the service store.
+
+Thin entry point; the implementation lives in :mod:`repro.service.runner`
+(kept separate so library users can embed :class:`ServiceWorker` without
+touching argv).
+"""
+
+from .runner import main
+
+if __name__ == "__main__":
+    main()

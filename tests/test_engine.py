@@ -20,12 +20,15 @@ from repro.engine import (
     Engine,
     EngineConfig,
     LerPointTask,
+    PatchSampleTask,
     ResultCache,
     ShotPolicy,
     ShotScheduler,
+    YieldTask,
     child_stream,
     seed_fingerprint,
     spawn_streams,
+    task_from_payload,
 )
 from repro.engine.rng import from_fingerprint
 from repro.experiments import run_memory_experiment, sample_defective_patches
@@ -111,6 +114,39 @@ class TestTaskSpecs:
         keep = CutoffCellTask(strategy="keep", bad_qubit_error_rate=0.1, **fields)
         disable = CutoffCellTask(strategy="disable", **fields)
         assert keep.content_hash() != disable.content_hash()
+
+    def test_payload_round_trip_preserves_hash(self):
+        patch = adapt_patch(StabilityLayout(4), DefectSet.of())
+        base = LerPointTask.from_patch("stability", patch, 0.005, rounds=3)
+        cutoff = CutoffCellTask(
+            strategy="keep", bad_qubit_error_rate=0.1,
+            experiment=base.experiment, layout_kind=base.layout_kind,
+            size=base.size, faulty_qubits=base.faulty_qubits,
+            faulty_links=base.faulty_links,
+            physical_error_rate=base.physical_error_rate,
+            rounds=base.rounds, noise=base.noise, decoder=base.decoder)
+        tasks = [
+            d3_task(0.01, decoder="unionfind"),
+            base,
+            cutoff,
+            PatchSampleTask(size=5, defect_model_kind=LINK_AND_QUBIT,
+                            defect_rate=0.02, num_patches=3, min_distance=3),
+            YieldTask(chiplet_size=7, defect_model_kind=LINK_AND_QUBIT,
+                      defect_rate=0.01, samples=10, target_distance=5,
+                      boundary=("standard-3", True, False, None)),
+        ]
+        for task in tasks:
+            rebuilt = task_from_payload(task.kind, task.payload())
+            assert rebuilt == task
+            assert rebuilt.content_hash() == task.content_hash()
+
+    def test_task_from_payload_rejects_junk(self):
+        with pytest.raises(ValueError, match="unknown task kind"):
+            task_from_payload("bogus", {})
+        with pytest.raises(ValueError, match="must be an object"):
+            task_from_payload("ler_point", None)
+        with pytest.raises(ValueError, match="malformed"):
+            task_from_payload("ler_point", {"nope": 1})
 
 
 # ----------------------------------------------------------------------
@@ -218,6 +254,37 @@ class TestResultCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_foreign_files_are_invisible(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"x": 1})
+        # Files a co-located service (or an editor) might drop in the tree:
+        (tmp_path / "service.db").write_bytes(b"SQLite format 3\x00")
+        (tmp_path / "service.db-wal").write_bytes(b"wal")
+        (tmp_path / "ab" / "notes.json").write_text("{}")      # non-hex stem
+        (tmp_path / "ab" / f"{'cd' * 32}.json").write_text("{}")  # wrong dir
+        (tmp_path / "README").write_text("hands off")
+        assert list(cache.keys()) == ["ab" * 32]
+        assert len(cache) == 1
+        assert cache.get("ab" * 32)["x"] == 1
+        # clear() removes only our record and leaves foreign files alone.
+        assert cache.clear() == 1
+        assert (tmp_path / "service.db").exists()
+        assert (tmp_path / "ab" / "notes.json").exists()
+        assert (tmp_path / "ab" / f"{'cd' * 32}.json").exists()
+
+    def test_torn_write_is_invisible_until_replaced(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" * 32, {"x": 1})
+        # A writer killed mid-put leaves only a tmp file, never a torn
+        # record under the final name.
+        orphan = tmp_path / "ab" / "tmp1234.tmp"
+        orphan.write_text('{"x": 2, "schema_')
+        assert list(cache.keys()) == ["ab" * 32]
+        assert cache.get("ab" * 32) == {"x": 1,
+                                        "schema_version": cache.schema_version}
+        assert cache.clear() == 1
+        assert not orphan.exists()  # clear sweeps the orphan
+
     def test_patch_sampling_uses_cache(self, tmp_path):
         model = DefectModel(LINK_AND_QUBIT, 0.03)
         engine = Engine(EngineConfig(cache_dir=str(tmp_path)))
@@ -315,6 +382,60 @@ class TestShotScheduler:
         ]
         assert runs[0].failures == runs[1].failures
         assert runs[0].shots == runs[1].shots
+
+
+# ----------------------------------------------------------------------
+# Cost estimation: pinned to the scheduler's own wave arithmetic
+# ----------------------------------------------------------------------
+class TestEstimatedCost:
+    """``ShotPolicy.estimated_cost`` must equal what a real ``ShotScheduler``
+    run would do — these tests drive one independently and compare."""
+
+    @staticmethod
+    def drive(policy, shard_size, expected_rate=0.0):
+        """Total shots of a scheduler fed ``expected_rate`` failures."""
+        sched = ShotScheduler(policy, shard_size)
+        credited = 0
+        while True:
+            wave = sched.next_wave()
+            if not wave:
+                return sched.shots_done
+            shots = sum(n for _, n in wave)
+            expected = int(expected_rate * (sched.shots_done + shots))
+            failures = min(max(expected - credited, 0), shots)
+            credited += failures
+            sched.record(failures, shots)
+
+    @pytest.mark.parametrize("shots, shard", [(1000, 256), (4096, 4096),
+                                              (100, 256), (5000, 999)])
+    def test_fixed_policy_costs_exactly_its_budget(self, shots, shard):
+        policy = ShotPolicy.fixed(shots)
+        assert policy.estimated_cost(shard) == self.drive(policy, shard)
+        assert policy.estimated_cost(shard) == shots
+
+    def test_adaptive_zero_rate_runs_to_max(self):
+        policy = ShotPolicy.adaptive(10_000, min_shots=100,
+                                     target_failures=10)
+        assert policy.estimated_cost(512) == self.drive(policy, 512)
+        assert policy.estimated_cost(512) == 10_000
+
+    @pytest.mark.parametrize("rate", [0.005, 0.02, 0.1])
+    def test_adaptive_expected_rate_stops_early(self, rate):
+        policy = ShotPolicy.adaptive(10**6, min_shots=100,
+                                     target_failures=20)
+        cost = policy.estimated_cost(256, rate)
+        assert cost == self.drive(policy, 256, rate)
+        assert 100 <= cost < 10**6  # early stop, above the guaranteed floor
+
+    def test_higher_rate_never_costs_more(self):
+        policy = ShotPolicy.adaptive(10**5, min_shots=100, target_failures=20)
+        costs = [policy.estimated_cost(256, r)
+                 for r in (0.0, 0.001, 0.01, 0.1)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ShotPolicy.fixed(100).estimated_cost(256, -0.1)
 
 
 # ----------------------------------------------------------------------

@@ -14,7 +14,15 @@ import pytest
 from repro.decoder.base import syndrome_cache_limit
 from repro.engine.executor import EngineConfig
 from repro.engine.pipeline import default_chunk_shots
-from repro.env import env_choice, env_hosts, env_int
+from repro.env import env_choice, env_float, env_hosts, env_int
+from repro.service.config import (
+    service_aging_rate,
+    service_db_path,
+    service_host_port,
+    service_lease_seconds,
+    service_poll_seconds,
+    service_url,
+)
 
 
 class TestEnvInt:
@@ -120,3 +128,65 @@ class TestEngineConfigFromEnv:
     def test_invalid_rejected_with_name(self, var, raw):
         with pytest.raises(ValueError, match=var):
             EngineConfig.from_env({var: raw})
+
+
+class TestEnvFloat:
+    def test_missing_and_empty_yield_default(self):
+        assert env_float("REPRO_X", 1.5, env={}) == 1.5
+        assert env_float("REPRO_X", 1.5, env={"REPRO_X": " "}) == 1.5
+
+    def test_parses_int_and_float_forms(self):
+        assert env_float("REPRO_X", 1.5, env={"REPRO_X": "2"}) == 2.0
+        assert env_float("REPRO_X", 1.5, env={"REPRO_X": " 0.25 "}) == 0.25
+        assert env_float("REPRO_X", 1.5, env={"REPRO_X": "1e-3"}) == 1e-3
+
+    @pytest.mark.parametrize("raw", ["abc", "nan", "inf", "-inf", "1..2"])
+    def test_garbage_and_non_finite_rejected(self, raw):
+        with pytest.raises(ValueError, match="REPRO_X"):
+            env_float("REPRO_X", 1.5, env={"REPRO_X": raw})
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError, match="REPRO_X"):
+            env_float("REPRO_X", 1.5, minimum=0.0, env={"REPRO_X": "-0.1"})
+        assert env_float("REPRO_X", 1.5, minimum=0.0,
+                         env={"REPRO_X": "0"}) == 0.0
+
+
+class TestServiceKnobs:
+    def test_defaults(self):
+        assert service_db_path({}) == ".repro-service.db"
+        assert service_lease_seconds({}) == 60.0
+        assert service_host_port({}) == ("127.0.0.1", 7940)
+        assert service_poll_seconds({}) == 0.5
+        assert service_aging_rate({}) == 0.05
+        assert service_url({}) == "http://127.0.0.1:7940"
+
+    def test_overrides(self):
+        env = {"REPRO_SERVICE_DB": "/tmp/jobs.db",
+               "REPRO_SERVICE_LEASE": "5",
+               "REPRO_SERVICE_HOST": "0.0.0.0",
+               "REPRO_SERVICE_PORT": "0",
+               "REPRO_SERVICE_POLL": "0.05",
+               "REPRO_SERVICE_AGING": "0",
+               "REPRO_SERVICE_URL": "http://svc:1234/"}
+        assert service_db_path(env) == "/tmp/jobs.db"
+        assert service_lease_seconds(env) == 5.0
+        assert service_host_port(env) == ("0.0.0.0", 0)
+        assert service_poll_seconds(env) == 0.05
+        assert service_aging_rate(env) == 0.0
+        assert service_url(env) == "http://svc:1234"
+
+    @pytest.mark.parametrize("var, raw", [
+        ("REPRO_SERVICE_LEASE", "0"),
+        ("REPRO_SERVICE_LEASE", "-1"),
+        ("REPRO_SERVICE_POLL", "0"),
+        ("REPRO_SERVICE_PORT", "70000"),
+        ("REPRO_SERVICE_PORT", "-1"),
+        ("REPRO_SERVICE_AGING", "-0.5"),
+    ])
+    def test_out_of_range_rejected_with_name(self, var, raw):
+        with pytest.raises(ValueError, match=var):
+            {"REPRO_SERVICE_LEASE": service_lease_seconds,
+             "REPRO_SERVICE_POLL": service_poll_seconds,
+             "REPRO_SERVICE_PORT": service_host_port,
+             "REPRO_SERVICE_AGING": service_aging_rate}[var]({var: raw})

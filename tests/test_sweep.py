@@ -344,3 +344,62 @@ def _items(tasks, seed, policy=None):
     policy = policy or ShotPolicy.fixed(512)
     return [SweepItem(t, policy, child_stream(seed, i))
             for i, t in enumerate(tasks)]
+
+
+# ----------------------------------------------------------------------
+# Wave progress callbacks (the service's partial-result stream)
+# ----------------------------------------------------------------------
+class TestWaveCallbacks:
+    def test_wave_updates_accumulate_to_the_result(self):
+        engine = Engine(EngineConfig(shard_size=128))
+        # An unreachable failure target forces the full geometric ramp:
+        # waves of 256, 512 and 256 shots up to the 1024-shot budget.
+        policy = ShotPolicy.adaptive(1024, min_shots=256,
+                                     target_failures=10**6)
+        updates = []
+        result = engine.run_ler(d3_task(0.02), policy=policy, seed=9,
+                                on_wave=updates.append)
+        assert [u.wave_shots for u in updates] == [256, 512, 256]
+        assert [u.wave for u in updates] == list(range(len(updates)))
+        assert all(u.index == 0 for u in updates)
+        # Per-wave deltas sum to the cumulative totals, which end at the
+        # final result.
+        assert sum(u.wave_failures for u in updates) == result.failures
+        assert sum(u.wave_shots for u in updates) == result.shots
+        assert (updates[-1].failures, updates[-1].shots) == \
+            (result.failures, result.shots)
+        monotone = [u.shots for u in updates]
+        assert monotone == sorted(monotone)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_callbacks_never_change_the_numbers(self, workers):
+        tasks = [d3_task(p) for p in (0.005, 0.01)]
+        ref = Engine(EngineConfig(shard_size=128)).run_ler_many(
+            tasks, shots=512, seed=3)
+        engine = Engine(EngineConfig(max_workers=workers, shard_size=128))
+        seen = []
+        got = engine.run_ler_many(tasks, shots=512, seed=3,
+                                  on_wave=seen.append)
+        assert [result_tuple(r) for r in got] == \
+            [result_tuple(r) for r in ref]
+        assert {u.index for u in seen} == {0, 1}
+
+    def test_cache_hits_produce_no_waves(self, tmp_path):
+        engine = Engine(EngineConfig(shard_size=128,
+                                     cache_dir=str(tmp_path)))
+        tasks = [d3_task(p) for p in (0.005, 0.01)]
+        engine.run_ler_many(tasks, shots=512, seed=3)
+        updates = []
+        rerun = engine.run_ler_many(tasks, shots=512, seed=3,
+                                    on_wave=updates.append)
+        assert all(r.from_cache for r in rerun)
+        assert updates == []  # nothing executed, nothing to stream
+
+    def test_callback_exception_aborts_the_sweep(self):
+        engine = Engine(EngineConfig(max_workers=2, shard_size=128))
+
+        def boom(update):
+            raise RuntimeError("watcher died")
+
+        with pytest.raises(RuntimeError, match="watcher died"):
+            engine.run_ler_many([d3_task()], shots=512, seed=3, on_wave=boom)
