@@ -24,7 +24,9 @@ from repro.engine import Engine, EngineConfig, set_default_engine
 
 #: Format version of the BENCH_*.json artifacts; bump when the layout of the
 #: records below changes so downstream diffing tools can tell.
-BENCH_JSON_SCHEMA = 1
+#: v2: sampler_throughput grew bitgen-vs-exact rng_mode series, and the
+#: fast_rng artifact joined the set.
+BENCH_JSON_SCHEMA = 2
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,141 @@
+"""Fast-RNG (bitgen) sampling benchmark: bit-level noise vs exact doubles.
+
+Measures d=5 memory-circuit sampling throughput for the two compiled
+program modes of :class:`~repro.stabilizer.packed.PackedFrameSimulator`:
+
+* ``exact`` — one float64 per (noise row, shot) from PCG64, the
+  paper-exact reproduction stream every pinned count in the repo uses;
+* ``bitgen`` — K=12 raw SFC64 words per noise row combined at the bit
+  level into Bernoulli(m/2^12) packed draws, with residual thinning so
+  any ``p`` stays exact in distribution.
+
+Container timing noise is severe (the same exact-mode run swings ~2x
+wall clock between schedulings), so the gate uses **interleaved
+best-of-N**: alternate exact/bitgen timings back to back and compare the
+per-mode minima.  The minimum of N runs estimates the contention-free
+cost of each mode; interleaving guarantees both modes sample the same
+noise environment.  Measured ratio at the gate was ~3.2x vs the 2.5x
+acceptance criterion.
+
+The second test is the statistical half of the acceptance criterion:
+bitgen and exact logical-error estimates must agree within overlapping
+Wilson 95% intervals — fast sampling must not move the physics.
+"""
+
+import time
+
+from repro.analysis.stats import wilson_interval
+from repro.core.adaptation import adapt_patch
+from repro.decoder import MatchingGraph, MwpmDecoder
+from repro.engine.pipeline import DecodingPipeline
+from repro.noise.circuit_noise import CircuitNoiseModel
+from repro.noise.fabrication import DefectSet
+from repro.stabilizer.dem import build_detector_error_model
+from repro.stabilizer.packed import PackedFrameSimulator
+from repro.surface_code.circuits import build_memory_circuit
+from repro.surface_code.layout import RotatedSurfaceCodeLayout
+
+from conftest import print_series, write_bench_json
+
+_P = 1e-3
+_DISTANCE = 5
+_SHOTS = 32000
+#: Acceptance criterion of the fast-RNG PR: bitgen sampling ≥ 2.5x exact
+#: at d=5, 32k shots.  Interleaved best-of-N measured ~3.2x.
+_GATE_RATIO = 2.5
+_ROUNDS = 10
+
+# Wilson-CI equivalence point: d=3 keeps the failure count high enough for
+# tight intervals at benchmark-scale shots.
+_CI_DISTANCE = 3
+_CI_P = 5e-3
+_CI_SHOTS = 30000
+
+
+def _circuit(distance, p):
+    patch = adapt_patch(RotatedSurfaceCodeLayout(distance), DefectSet.of())
+    return build_memory_circuit(patch, CircuitNoiseModel.standard(p), distance)
+
+
+def test_bitgen_sampling_throughput(benchmark, benchmark_seed):
+    circuit = _circuit(_DISTANCE, _P)
+    sims = {mode: PackedFrameSimulator(circuit, seed=benchmark_seed,
+                                       rng_mode=mode)
+            for mode in ("exact", "bitgen")}
+    for sim in sims.values():
+        sim.sample(64)  # compile both programs outside the timed region
+
+    best = {"exact": float("inf"), "bitgen": float("inf")}
+
+    def run():
+        # Interleave the two modes so scheduler noise hits both equally,
+        # and keep the per-mode minimum as the contention-free estimate.
+        for _ in range(_ROUNDS):
+            for mode, sim in sims.items():
+                sim.reseed(benchmark_seed)
+                start = time.perf_counter()
+                sim.sample(_SHOTS)
+                best[mode] = min(best[mode],
+                                 time.perf_counter() - start)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    exact_tps = _SHOTS / best["exact"]
+    bitgen_tps = _SHOTS / best["bitgen"]
+    ratio = bitgen_tps / exact_tps
+    rows = [
+        (f"d={_DISTANCE} shots={_SHOTS} exact",
+         f"{exact_tps:9.0f} shots/s ({best['exact'] * 1e3:6.1f} ms)"),
+        (f"d={_DISTANCE} shots={_SHOTS} bitgen",
+         f"{bitgen_tps:9.0f} shots/s ({best['bitgen'] * 1e3:6.1f} ms)"),
+        ("speedup", f"{ratio:5.2f}x (gate {_GATE_RATIO}x)"),
+    ]
+    print_series(f"Fast-RNG sampling throughput (p={_P})", rows)
+    write_bench_json(
+        "fast_rng",
+        [{"label": f"d={_DISTANCE} shots={_SHOTS} {mode}",
+          "distance": _DISTANCE,
+          "shots": _SHOTS,
+          "rng_mode": mode,
+          "shots_per_sec": _SHOTS / best[mode],
+          "best_seconds": best[mode]}
+         for mode in ("exact", "bitgen")],
+        physical_error_rate=_P,
+        rounds=_ROUNDS,
+        gates={"bitgen_speedup": _GATE_RATIO},
+    )
+    assert ratio >= _GATE_RATIO, (
+        f"bitgen speedup {ratio:.2f}x below the {_GATE_RATIO}x gate "
+        f"(exact {best['exact'] * 1e3:.1f} ms, "
+        f"bitgen {best['bitgen'] * 1e3:.1f} ms over best-of-{_ROUNDS})")
+
+
+def test_bitgen_statistical_equivalence(benchmark, benchmark_seed):
+    """Bitgen LER falls inside (overlaps) the exact-mode Wilson 95% CI."""
+    circuit = _circuit(_CI_DISTANCE, _CI_P)
+    dem = build_detector_error_model(circuit)
+
+    def failures(mode):
+        pipeline = DecodingPipeline(circuit, MwpmDecoder(MatchingGraph(dem)),
+                                    rng_mode=mode)
+        return pipeline.run(_CI_SHOTS, seed=benchmark_seed).failures
+
+    out = {}
+
+    def run():
+        out["exact"] = failures("exact")
+        out["bitgen"] = failures("bitgen")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lo_e, hi_e = wilson_interval(out["exact"], _CI_SHOTS)
+    lo_b, hi_b = wilson_interval(out["bitgen"], _CI_SHOTS)
+    print_series(
+        f"Fast-RNG statistical equivalence (d={_CI_DISTANCE}, p={_CI_P})",
+        [("exact", f"{out['exact']}/{_CI_SHOTS} "
+                   f"CI [{lo_e:.5f}, {hi_e:.5f}]"),
+         ("bitgen", f"{out['bitgen']}/{_CI_SHOTS} "
+                    f"CI [{lo_b:.5f}, {hi_b:.5f}]")])
+    assert max(lo_e, lo_b) <= min(hi_e, hi_b), (
+        f"Wilson CIs disjoint: exact [{lo_e:.5f}, {hi_e:.5f}] vs "
+        f"bitgen [{lo_b:.5f}, {hi_b:.5f}]")

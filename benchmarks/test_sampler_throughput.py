@@ -90,6 +90,30 @@ def test_sampler_throughput(benchmark, benchmark_seed):
                 "speedup": vec / ref,
             })
 
+        # Bit-level RNG mode vs the exact double-draw stream, at both batch
+        # sizes (the dedicated gate lives in test_fast_rng.py; this series
+        # just keeps both modes on one trajectory artifact).
+        fast = PackedFrameSimulator(circuit, seed=benchmark_seed,
+                                    rng_mode="bitgen")
+        fast.sample(64)
+        for shots in (_GATE_SHOTS, _TRAJECTORY_SHOTS):
+            exact = _throughput(lambda: sim.reseed(benchmark_seed).sample(shots),
+                                shots)
+            bitgen = _throughput(
+                lambda: fast.reseed(benchmark_seed).sample(shots), shots)
+            rows.append((f"d={_DISTANCE} shots={shots} rng",
+                         f"exact {exact:9.0f} shots/s, "
+                         f"bitgen {bitgen:9.0f} shots/s, "
+                         f"speedup {bitgen / exact:5.1f}x"))
+            series.append({
+                "label": f"d={_DISTANCE} shots={shots} rng_mode",
+                "distance": _DISTANCE,
+                "shots": shots,
+                "exact_shots_per_sec": exact,
+                "bitgen_shots_per_sec": bitgen,
+                "bitgen_speedup": bitgen / exact,
+            })
+
         # Sample-vs-decode wall-clock split of one warm pipeline shard.
         dem = build_detector_error_model(circuit)
         pipeline = DecodingPipeline(circuit, MwpmDecoder(MatchingGraph(dem)))

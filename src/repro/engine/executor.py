@@ -45,7 +45,7 @@ from ..decoder.unionfind import UnionFindDecoder
 from ..stabilizer.dem import build_detector_error_model
 from .backends import BACKEND_NAMES, Backend, create_backend
 from .cache import ResultCache
-from .pipeline import DecodingPipeline
+from .pipeline import DecodingPipeline, _memo_cache
 from .rng import Seed, as_seed_sequence, child_stream, from_fingerprint, seed_fingerprint
 from .scheduler import ShotPolicy, ShotScheduler
 from .tasks import LerPointTask, PatchSampleTask, YieldTask, canonical_json
@@ -313,7 +313,15 @@ def _context_for(task: LerPointTask) -> tuple:
             decoder = MwpmDecoder(graph)
         else:
             decoder = UnionFindDecoder(graph)
-        ctx = (DecodingPipeline(circuit, decoder), len(dem))
+        pipeline = DecodingPipeline(circuit, decoder,
+                                    rng_mode=task.rng_mode)
+        memo_store = _memo_cache()
+        if memo_store is not None:
+            # Warm the syndrome memo from disk before the first shard (a
+            # restarted worker skips the cold-start decode rebuild), and
+            # arm _run_ler_shard to persist it back after each shard.
+            pipeline.attach_memo_store(memo_store, key, task.decoder)
+        ctx = (pipeline, len(dem))
         limit = _task_memo_limit()
         while len(_TASK_MEMO) >= limit:
             _TASK_MEMO.pop(next(iter(_TASK_MEMO)))
@@ -325,6 +333,7 @@ def _run_ler_shard(task: LerPointTask, seed: Seed, shots: int) -> Tuple[int, int
     """Sample + decode one shard; returns (failures, detectors, dem errors)."""
     pipeline, dem_size = _context_for(task)
     stats = pipeline.run(shots, seed=seed)
+    pipeline.persist_memo()
     return (int(stats.failures), int(pipeline.circuit.num_detectors),
             int(dem_size))
 

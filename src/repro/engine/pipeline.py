@@ -26,6 +26,17 @@ The executor keeps one pipeline per task content hash per worker process
 (:func:`repro.engine.executor._context_for`), which is what lets the
 adaptive wave scheduler re-enter a warm pipeline wave after wave.
 
+**Syndrome-memo persistence**: the decoder's cross-batch memo is the
+product of real decode work — at d=5 a cold worker re-pays thousands of
+Dijkstra-seeded matchings before its memo warms up.  When a content-
+addressed cache directory is known (``memo_preload`` /
+``attach_memo_store``), the pipeline saves the memo into it after runs
+(atomic ``ResultCache`` writes keyed by task hash + decoder name) and a
+fresh pipeline for the same task imports it before its first shard, so
+restarted service workers and remote socket workers skip the cold-start
+rebuild.  Persistence never changes numbers — decoding is a pure function
+of the syndrome — and is gated by ``REPRO_MEMO_PERSIST`` (default on).
+
 Determinism: the packed simulator draws the same RNG variates in the same
 order as the unpacked one, and decoding is a pure function of each shot's
 syndrome, so pipeline tallies are bit-identical to the historical
@@ -34,6 +45,8 @@ sample-then-``decode_batch`` path for any chunk size.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -42,9 +55,11 @@ from ..decoder.base import BatchDecoderBase
 from ..env import env_int
 from ..stabilizer.circuit import Circuit
 from ..stabilizer.packed import PackedFrameSimulator
+from .cache import ResultCache
 from .rng import Seed
 
-__all__ = ["DecodingPipeline", "PipelineStats", "default_chunk_shots"]
+__all__ = ["DecodingPipeline", "PipelineStats", "default_chunk_shots",
+           "memo_cache_key", "memo_persist_enabled", "memo_preload"]
 
 _DEFAULT_CHUNK_SHOTS = 1024
 
@@ -53,6 +68,54 @@ def default_chunk_shots(env=None) -> int:
     """Pipeline chunk size from ``REPRO_CHUNK_SHOTS`` (default 1024)."""
     return env_int("REPRO_CHUNK_SHOTS", _DEFAULT_CHUNK_SHOTS,
                    minimum=1, env=env)
+
+
+def memo_persist_enabled(env=None) -> bool:
+    """Whether syndrome-memo persistence is on (``REPRO_MEMO_PERSIST``).
+
+    Default on — persistence is a pure warm-up optimisation that never
+    changes numbers.  Set ``REPRO_MEMO_PERSIST=0`` to keep memos purely
+    in-process (e.g. when benchmarking cold-start behaviour).
+    """
+    return env_int("REPRO_MEMO_PERSIST", 1, minimum=0, env=env) > 0
+
+
+def memo_cache_key(task_hash: str, decoder_name: str) -> str:
+    """Cache key of the persisted syndrome memo for (task, decoder).
+
+    Hashed so memo records share the result cache's two-level hex layout;
+    the decoder name is part of the key because MWPM and union-find memos
+    for one circuit hold different parities and must never alias.
+    """
+    body = f"syndrome_memo:{task_hash}:{decoder_name}"
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+# Process-wide memo-store override installed by workers that learn their
+# cache directory from arguments rather than the environment (service
+# workers, remote socket workers).  ``None`` falls back to ``REPRO_CACHE``.
+_MEMO_CACHE_DIR: Optional[str] = None
+
+
+def memo_preload(cache_dir: Optional[str]) -> None:
+    """Point this process's pipelines at ``cache_dir`` for memo warm-up.
+
+    Service workers (``repro.service.runner``) and remote socket workers
+    (``repro.engine.worker``) call this at startup with their resolved
+    cache directory, *before* the first shard runs, so every pipeline the
+    process builds imports any persisted syndrome memo up front.  Passing
+    ``None`` resets to the ``REPRO_CACHE`` environment fallback.
+    """
+    global _MEMO_CACHE_DIR
+    _MEMO_CACHE_DIR = cache_dir
+
+
+def _memo_cache() -> Optional[ResultCache]:
+    """The memo store for this process, or None when persistence is off."""
+    if not memo_persist_enabled():
+        return None
+    root = _MEMO_CACHE_DIR or os.environ.get("REPRO_CACHE") or None
+    return ResultCache(root) if root else None
 
 
 @dataclass(frozen=True)
@@ -67,7 +130,7 @@ class PipelineStats:
     empty_shots: int            # shots short-circuited on the empty syndrome
     sample_seconds: float = 0.0  # wall-clock spent in the packed sampler
     decode_seconds: float = 0.0  # wall-clock spent extracting/decoding/tallying
-    memo_evictions: int = 0     # syndrome-memo FIFO evictions during this run
+    memo_evictions: int = 0     # syndrome-memo LRU evictions during this run
     memo_size: int = 0          # memo entries held after the run
 
     @property
@@ -117,6 +180,7 @@ class DecodingPipeline:
         decoder: BatchDecoderBase,
         *,
         chunk_shots: Optional[int] = None,
+        rng_mode: str = "exact",
     ):
         if chunk_shots is None:
             chunk_shots = default_chunk_shots()
@@ -125,10 +189,60 @@ class DecodingPipeline:
         self.circuit = circuit
         self.decoder = decoder
         self.chunk_shots = int(chunk_shots)
+        self.rng_mode = rng_mode
         # One warm simulator for the pipeline's lifetime: the compiled
         # vectorised program is reused across runs (shards, scheduler
         # waves); only the RNG stream is replaced per run.
-        self._sim = PackedFrameSimulator(circuit)
+        self._sim = PackedFrameSimulator(circuit, rng_mode=rng_mode)
+        # Syndrome-memo persistence state (attach_memo_store/persist_memo).
+        self._memo_store: Optional[ResultCache] = None
+        self._memo_key: Optional[str] = None
+        self._memo_task_hash: Optional[str] = None
+        self._memo_decoder_name: Optional[str] = None
+        self._memo_saved_decodes = -1
+        self.preloaded_memo_entries = 0
+
+    # ------------------------------------------------------------------
+    def attach_memo_store(self, cache: ResultCache, task_hash: str,
+                          decoder_name: str) -> int:
+        """Bind the pipeline to a persisted-memo slot and warm up from it.
+
+        Imports any existing snapshot into the decoder immediately (the
+        count lands in ``preloaded_memo_entries``) and arms
+        :meth:`persist_memo` to write back after runs.  Returns the number
+        of imported entries.
+        """
+        self._memo_store = cache
+        self._memo_task_hash = task_hash
+        self._memo_decoder_name = decoder_name
+        self._memo_key = memo_cache_key(task_hash, decoder_name)
+        record = cache.get(self._memo_key)
+        if record and record.get("kind") == "syndrome_memo":
+            self.preloaded_memo_entries = self.decoder.import_memo(
+                record.get("entries", []))
+        self._memo_saved_decodes = self.decoder.decoded_syndromes
+        return self.preloaded_memo_entries
+
+    def persist_memo(self) -> bool:
+        """Write the decoder memo back to the attached store if it grew.
+
+        A no-op without :meth:`attach_memo_store` or when no new syndrome
+        has been decoded since the last save — so the executor can call
+        this after every shard without re-serialising an unchanged memo.
+        """
+        if self._memo_store is None:
+            return False
+        decoded = self.decoder.decoded_syndromes
+        if decoded == self._memo_saved_decodes:
+            return False
+        self._memo_store.put(self._memo_key, {
+            "kind": "syndrome_memo",
+            "task_hash": self._memo_task_hash,
+            "decoder": self._memo_decoder_name,
+            "entries": self.decoder.export_memo(),
+        })
+        self._memo_saved_decodes = decoded
+        return True
 
     # ------------------------------------------------------------------
     def run(self, shots: int, seed: Seed = None) -> PipelineStats:

@@ -44,6 +44,7 @@ from ..core.adaptation import adapt_patch
 from ..core.patch import AdaptedPatch
 from ..noise.circuit_noise import CircuitNoiseModel
 from ..noise.fabrication import LINK_AND_QUBIT, LINK_ONLY, DefectModel, DefectSet
+from ..stabilizer.packed import RNG_MODES
 from ..surface_code.circuits import build_memory_circuit, build_stability_circuit
 from ..surface_code.layout import RotatedSurfaceCodeLayout, StabilityLayout
 
@@ -167,6 +168,14 @@ class LerPointTask(TaskSpec):
 
     The patch is described by (layout kind, size, defect set); the adaptation
     is recomputed deterministically wherever the task runs.
+
+    ``rng_mode`` selects the sampler's variate stream: ``"exact"`` (the
+    default) is the paper-exact per-target stream, ``"bitgen"`` the fast
+    bit-level Bernoulli stream (see :mod:`repro.stabilizer.packed`).  The
+    two streams produce statistically equivalent but not bit-identical
+    numbers, so the field is part of the content hash — bitgen and exact
+    results can never alias in the cache — and ``"exact"`` payloads omit it
+    for backward-compatible hashes.
     """
 
     experiment: str                # "memory" or "stability"
@@ -178,6 +187,7 @@ class LerPointTask(TaskSpec):
     rounds: int
     noise: NoiseSpec
     decoder: str = "mwpm"
+    rng_mode: str = "exact"
 
     kind = "ler_point"
 
@@ -188,6 +198,8 @@ class LerPointTask(TaskSpec):
             raise ValueError(f"unknown layout kind {self.layout_kind!r}")
         if self.decoder not in _DECODERS:
             raise ValueError(f"unknown decoder {self.decoder!r}")
+        if self.rng_mode not in RNG_MODES:
+            raise ValueError(f"unknown rng_mode {self.rng_mode!r}")
         if self.rounds <= 0:
             raise ValueError("rounds must be positive")
 
@@ -202,6 +214,7 @@ class LerPointTask(TaskSpec):
         rounds: Optional[int] = None,
         noise: Optional[CircuitNoiseModel] = None,
         decoder: str = "mwpm",
+        rng_mode: str = "exact",
     ) -> "LerPointTask":
         """Describe an experiment on an already-adapted patch."""
         if noise is None:
@@ -220,6 +233,7 @@ class LerPointTask(TaskSpec):
             rounds=int(rounds),
             noise=NoiseSpec.from_model(noise),
             decoder=decoder,
+            rng_mode=rng_mode,
         )
 
     # ------------------------------------------------------------------
@@ -242,7 +256,7 @@ class LerPointTask(TaskSpec):
         return build_memory_circuit(patch, noise, self.rounds)
 
     def payload(self) -> dict:
-        return {
+        out = {
             "experiment": self.experiment,
             "layout_kind": self.layout_kind,
             "size": self.size,
@@ -253,6 +267,11 @@ class LerPointTask(TaskSpec):
             "noise": self.noise.payload(),
             "decoder": self.decoder,
         }
+        if self.rng_mode != "exact":
+            # Omitted for the default: every pre-existing payload (and
+            # content hash, and cache record) stays byte-identical.
+            out["rng_mode"] = self.rng_mode
+        return out
 
     # ------------------------------------------------------------------
     @classmethod
@@ -275,6 +294,7 @@ class LerPointTask(TaskSpec):
             rounds=int(payload["rounds"]),
             noise=NoiseSpec.from_payload(payload["noise"]),
             decoder=str(payload["decoder"]),
+            rng_mode=str(payload.get("rng_mode", "exact")),
             **cls._extra_fields_from_payload(payload),
         )
 

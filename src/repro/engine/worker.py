@@ -32,6 +32,7 @@ see :mod:`repro.engine.backends.wire`.
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import socket
 import sys
@@ -40,6 +41,7 @@ import traceback
 from typing import Optional
 
 from .backends.wire import MAGIC, ProtocolError, recv_msg, send_msg
+from .pipeline import memo_preload
 
 __all__ = ["serve", "main"]
 
@@ -106,14 +108,26 @@ def _portable_error(exc: Exception) -> Exception:
 
 
 def serve(host: str = "127.0.0.1", port: int = 0, *,
+          cache_dir: Optional[str] = None,
           ready_event: Optional[threading.Event] = None,
           bound: Optional[list] = None) -> None:
     """Listen forever, serving each connection on its own thread.
+
+    ``cache_dir`` (or the ``REPRO_CACHE`` environment fallback) points the
+    worker's decoding pipelines at the shared result cache, so the first
+    shard of each task imports any persisted syndrome memo instead of
+    re-decoding from cold.
 
     ``ready_event``/``bound`` exist for in-process tests: ``bound`` receives
     ``(host, port)`` once the socket is listening and ``ready_event`` is
     then set.
     """
+    cache = cache_dir or os.environ.get("REPRO_CACHE") or None
+    if cache is not None:
+        # Process-wide preload target; only touch it when this worker was
+        # actually given a cache (in-process test servers must not clobber
+        # their host process's setting).
+        memo_preload(cache)
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     server.bind((host, port))
@@ -148,8 +162,11 @@ def main(argv=None) -> None:
     parser.add_argument("--port", type=int, default=0,
                         help="TCP port (default: 0 = OS-assigned, printed "
                              "as REPRO_WORKER_LISTENING)")
+    parser.add_argument("--cache", default=None,
+                        help="result-cache directory for syndrome-memo "
+                             "warm-up (default: $REPRO_CACHE)")
     args = parser.parse_args(argv)
-    serve(args.host, args.port)
+    serve(args.host, args.port, cache_dir=args.cache)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

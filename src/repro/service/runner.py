@@ -36,6 +36,7 @@ from typing import Dict, Optional
 from ..analysis.stats import wilson_interval
 from ..engine.cache import ResultCache
 from ..engine.executor import Engine, EngineConfig, WaveUpdate
+from ..engine.pipeline import memo_preload
 from .config import service_db_path, service_lease_seconds, service_poll_seconds
 from .scheduler import JobScheduler, SchedulerConfig
 from .specs import spec_cache_keys, sweep_items, yield_job
@@ -259,6 +260,13 @@ def main(argv=None) -> None:
     store = JobStore(args.db or service_db_path())
     cache_dir = args.cache if args.cache is not None \
         else (os.environ.get("REPRO_CACHE") or None)
+    # Point this worker process's decoding pipelines at the shared cache so
+    # the first shard of a restarted worker imports any persisted syndrome
+    # memo instead of re-paying the d=5 cold-start decode rebuild.  Done at
+    # the process entry point (not in ServiceWorker) because the preload
+    # target is process-wide state — in-process embedders opt in by calling
+    # memo_preload themselves.
+    memo_preload(cache_dir)
     worker = ServiceWorker(store, lease_seconds=args.lease,
                            cache_dir=cache_dir)
     # The one line launchers parse; flush so pipes see it immediately.

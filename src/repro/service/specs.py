@@ -23,6 +23,12 @@ Three job kinds cover the service's workloads:
     A chiplet yield Monte-Carlo: ``{"kind": "yield", "task": <payload>,
     "seed": <fingerprint|null>}``.  Executed via :meth:`Engine.run_yield`.
 
+Task payloads carry every content-hash field, including ``rng_mode``: a
+bitgen-mode LER job submitted over HTTP rebuilds a bitgen task on the
+worker via ``task_from_payload`` (exact-mode payloads omit the field for
+backward compatibility), and its cache records can never alias an
+exact-mode run of the same parameters.
+
 Seeds are stored as the engine's canonical *fingerprints*
 (``[[entropy...], [spawn_key...]]``); the submission API additionally
 accepts a bare integer and fingerprints it.  ``null`` means fresh OS

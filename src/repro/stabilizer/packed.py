@@ -48,6 +48,39 @@ simulator switches to a stepwise program (one op per instruction, still
 vectorised within the instruction) so the hook keeps firing after every
 instruction with identical dense views.
 
+**Fast RNG mode** (``rng_mode="bitgen"``): the default ``"exact"`` mode is
+RNG-generation-bound at large shot counts — every noise row burns ``shots``
+float64 variates just to compare them against p.  The opt-in bitgen mode
+draws noise at the *bit level* instead:
+
+* each noise row draws ``_BITGEN_K`` (12) raw ``uint64`` words per packed
+  shot word off a fast ``SFC64`` stream and combines them by the binary
+  expansion of ``m = ceil(p * 2**K)`` — starting from zero and folding the
+  words least-significant-bit-first (``out = w | out`` where the bit of
+  ``m`` is set, ``w & out`` where it is clear) realises a packed Bernoulli
+  mask with ``P(bit) = m / 2**K >= p`` directly in packed form — ~5x fewer
+  random bytes and no float scratch, compare or packing pass at all (rows
+  sharing one ``p``, the overwhelmingly common fused-channel shape, fold
+  with whole-array in-place ops);
+* a **residual-correction pass** makes any ``p`` exact: every coarse
+  candidate lane draws one double ``u`` from a separate thinning stream and
+  survives iff ``u * p_hi < p`` (so ``P = p_hi * p/p_hi = p`` exactly); the
+  surviving draw ``u * p_hi`` is uniform on ``[0, p)`` and picks the Pauli
+  for the depolarizing channels with the same arithmetic as the exact
+  sparse path;
+* measurement randomisation is ``p = 1/2`` exactly — one raw word per 64
+  lanes, no correction pass;
+* the word stream and the thinning stream are two child streams of the
+  sampler seed, so word consumption never depends on the (data-dependent)
+  number of thinning draws: bitgen results are invariant to instruction
+  fusion, ``trace`` hooks and row-block splits, and remain deterministic
+  per seed across processes and hosts.
+
+Bitgen mode consumes a **different** (still deterministic) RNG stream than
+exact mode, so it is statistically equivalent but not bit-identical — which
+is why the engine carries it as a task-spec field that flows into content
+hashes and is never the default (see ``LerPointTask.rng_mode``).
+
 The sampler returns :class:`PackedDetectorSamples`, which keeps the packed
 rows and offers
 
@@ -72,7 +105,13 @@ from .bitpack import WORD_BITS, num_words, pack_rows, unpack_bits
 from .circuit import Circuit
 from .frame import DetectorSamples
 
-__all__ = ["PackedDetectorSamples", "PackedFrameSimulator", "sample_detectors_packed"]
+__all__ = ["PackedDetectorSamples", "PackedFrameSimulator", "RNG_MODES",
+           "sample_detectors_packed"]
+
+#: Supported RNG modes: ``"exact"`` reproduces the paper-exact per-target
+#: draw stream bit-for-bit; ``"bitgen"`` is the opt-in fast bit-level
+#: Bernoulli stream (statistically equivalent, different variates).
+RNG_MODES = ("exact", "bitgen")
 
 # Trace hook signature shared with FrameSimulator: called after every
 # instruction with (instruction_index, instruction, x_bool, z_bool,
@@ -254,6 +293,138 @@ def _odd_multiplicity(targets: List[int]) -> np.ndarray:
 # Op kinds that consume RNG rows (used to size the shared draw scratch).
 _DRAW_KINDS = frozenset({"m", "mx", "xerr", "zerr", "yerr", "dep1", "dep2"})
 
+# Fixed-point precision of the bitgen coarse Bernoulli masks: a noise row
+# always combines exactly this many raw uint64 words per packed shot word,
+# regardless of p, so word-stream consumption is a pure function of the
+# compiled rows and never of the drawn data.  16 bits keeps the coarse
+# overshoot (and therefore the thinning-candidate surplus) below 2**-16 per
+# lane while still drawing 4x fewer raw words than the exact float stream.
+_BITGEN_K = 12
+
+# Noise-channel op kinds that build a coarse bitgen mask (M/MX are exactly
+# p = 1/2 and draw single raw words instead).
+_BITGEN_CHANNELS = frozenset({"xerr", "zerr", "yerr", "dep1", "dep2"})
+
+
+def _raw_words(rng: np.random.Generator, n: int) -> np.ndarray:
+    """``n`` uniform ``uint64`` words straight off the bit generator."""
+    bg = rng.bit_generator
+    if hasattr(bg, "random_raw"):
+        return bg.random_raw(n)
+    # Exotic bit generators without random_raw (never numpy's defaults):
+    # full-range integers draw one word per call just the same.
+    return rng.integers(0, np.iinfo(np.uint64).max, size=n,
+                        dtype=np.uint64, endpoint=True)
+
+
+def _compile_bitgen_channel(pflat: np.ndarray) -> tuple:
+    """Per-row fixed-point data for a bitgen coarse-mask channel.
+
+    Returns ``(mbits, full, p_hi, ubits)``: ``mbits[j, row]`` is bit ``j``
+    of ``m_row = ceil(p_row * 2**K)`` (LSB first — the combine order),
+    ``full`` flags rows whose coarse mask saturates to all-ones
+    (``m >= 2**K``, i.e. p within 2**-K of 1), and ``p_hi = m / 2**K`` is
+    the exact coarse probability the correction pass thins down from.
+    ``p_hi >= p`` always holds: scaling by a power of two is exact in
+    binary floating point, so ``ceil`` can never land below ``p * 2**K``.
+
+    When every row shares one ``m`` (the usual fused-channel shape under a
+    uniform noise model) ``ubits`` carries that single bit pattern so the
+    fold can run whole-array in-place ops instead of per-row boolean
+    selections; otherwise ``ubits`` is ``None``.
+    """
+    scale = 1 << _BITGEN_K
+    m = np.ceil(pflat * scale).astype(np.int64)
+    np.clip(m, 0, scale, out=m)
+    full = m >= scale
+    p_hi = m / float(scale)
+    work = np.where(full, 0, m)
+    shifts = np.arange(_BITGEN_K, dtype=np.int64)
+    mbits = ((work[None, :] >> shifts[:, None]) & 1).astype(bool)
+    ubits = None
+    if m.size and bool(np.all(m == m[0])):
+        ubits = tuple(bool(b) for b in mbits[:, 0])
+    return mbits, (full if bool(full.any()) else None), p_hi, ubits
+
+
+def _compile_bitgen_aux(ops: List[Tuple[str, int, tuple]]) -> dict:
+    """Coarse-mask data for every channel op of a compiled program."""
+    aux = {}
+    for idx, (kind, _first, data) in enumerate(ops):
+        if kind in _BITGEN_CHANNELS:
+            pflat = data[2] if kind == "dep2" else data[1]
+            aux[idx] = _compile_bitgen_channel(pflat)
+    return aux
+
+
+def _tail_mask(shots: int) -> np.uint64:
+    """Mask keeping only the first ``shots % 64`` lanes of the last word.
+
+    Bitgen draws whole words, so without this the ghost lanes beyond
+    ``shots`` would accumulate frame bits and corrupt word-granular
+    consumers (popcounts, detection fractions).  Exact mode never needs it:
+    per-shot draws simply stop at ``shots``.
+    """
+    rem = shots % WORD_BITS
+    return np.uint64((1 << rem) - 1) if rem else np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _bitgen_mask(wrng: np.random.Generator, aux: tuple, i0: int, i1: int,
+                 nw: int, tail: np.uint64) -> np.ndarray:
+    """Packed coarse Bernoulli(p_hi) mask for draw rows ``[i0, i1)``.
+
+    Folds the fresh words least-significant-bit first: after processing bit
+    ``j`` the lane probability is ``(m >> j << j) / 2**K`` restricted to the
+    bits seen so far, so the full pass realises exactly ``m / 2**K``.  Rows
+    draw their words in C order (row-major), which is what makes block
+    splits and stepwise programs consume the identical word stream.
+    """
+    mbits, full, _p_hi, ubits = aux
+    rows = i1 - i0
+    raw = _raw_words(wrng, rows * _BITGEN_K * nw).reshape(rows, _BITGEN_K, nw)
+    if ubits is not None and True in ubits:
+        # Uniform-m fast path: one bit pattern for every row, so each fold
+        # layer is a whole-array in-place op.  Layers below the lowest set
+        # bit AND into an all-zero mask — skipping their *compute* changes
+        # nothing, and their words were consumed by the block draw above,
+        # so the stream stays put.
+        j0 = ubits.index(True)
+        out = raw[:, j0].copy()
+        for j in range(j0 + 1, _BITGEN_K):
+            if ubits[j]:
+                np.bitwise_or(out, raw[:, j], out=out)
+            else:
+                np.bitwise_and(out, raw[:, j], out=out)
+    else:
+        out = np.zeros((rows, nw), dtype=np.uint64)
+        for j in range(_BITGEN_K):
+            b = mbits[j, i0:i1]
+            out[b] |= raw[b, j]
+            nb = ~b
+            out[nb] &= raw[nb, j]
+    if full is not None:
+        out[full[i0:i1]] = np.uint64(0xFFFFFFFFFFFFFFFF)
+    out[:, -1] &= tail
+    return out
+
+
+def _draw_scratch(rows: int, shots: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Allocate the shared exact-mode draw/compare scratch, validated once.
+
+    ``rng.random(out=...)`` requires a C-contiguous float64 target and
+    would otherwise re-derive that fact on every op x row-block call; a
+    freshly allocated 2-D array satisfies it by construction, and row
+    slices ``buf[:k]`` of a C-contiguous array stay C-contiguous, so one
+    explicit check here covers every per-block view the hot loop takes.
+    """
+    rbuf = np.empty((rows, shots))
+    hbuf = np.empty((rows, shots), dtype=bool)
+    if rbuf.dtype != np.float64 or not rbuf.flags.c_contiguous:
+        raise AssertionError("draw scratch must be C-contiguous float64")
+    if hbuf.dtype != np.bool_ or not hbuf.flags.c_contiguous:
+        raise AssertionError("hit scratch must be C-contiguous bool")
+    return rbuf, hbuf
+
 
 def _compile_program(circuit: Circuit, fuse: bool) -> Tuple[List[Tuple[str, int, tuple]], int]:
     """Lower the circuit to vectorised ops (index arrays resolved once).
@@ -400,21 +571,39 @@ def _hit_lanes(hit_words: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 
 class PackedFrameSimulator:
-    """Samples detector/observable flips on a bit-packed Pauli frame."""
+    """Samples detector/observable flips on a bit-packed Pauli frame.
 
-    def __init__(self, circuit: Circuit, seed=None):
+    ``rng_mode="exact"`` (the default) draws the paper-exact per-target
+    variate stream; ``rng_mode="bitgen"`` selects the fast bit-level
+    Bernoulli stream (see the module docstring) — same distribution,
+    different variates, so the mode must be chosen per task, not flipped
+    silently.
+    """
+
+    def __init__(self, circuit: Circuit, seed=None, *, rng_mode: str = "exact"):
+        if rng_mode not in RNG_MODES:
+            raise ValueError(f"unknown rng_mode {rng_mode!r}; "
+                             f"valid modes: {', '.join(RNG_MODES)}")
         circuit.validate()
         self.circuit = circuit
-        self.rng = np.random.default_rng(seed)
-        # fuse(bool) -> (ops, max_draw_rows); the fused program runs the
-        # no-trace hot path, the stepwise one preserves the per-instruction
-        # trace contract.
+        self.rng_mode = rng_mode
+        # fuse(bool) -> (ops, max_draw_rows, bitgen_aux); the fused program
+        # runs the no-trace hot path, the stepwise one preserves the
+        # per-instruction trace contract.  bitgen_aux is None in exact mode
+        # and the per-channel coarse-mask data in bitgen mode — a second
+        # compiled-program flavour sharing the same op stream.
         self._programs: dict = {}
+        self._wrng: Optional[np.random.Generator] = None
+        self._trng: Optional[np.random.Generator] = None
+        self.reseed(seed)
 
-    def _program(self, fuse: bool) -> Tuple[List[Tuple[str, int, tuple]], int]:
+    def _program(self, fuse: bool) -> Tuple[List[Tuple[str, int, tuple]], int, Optional[dict]]:
         prog = self._programs.get(fuse)
         if prog is None:
-            prog = _compile_program(self.circuit, fuse)
+            ops, max_draw_rows = _compile_program(self.circuit, fuse)
+            aux = (_compile_bitgen_aux(ops) if self.rng_mode == "bitgen"
+                   else None)
+            prog = (ops, max_draw_rows, aux)
             self._programs[fuse] = prog
         return prog
 
@@ -422,11 +611,30 @@ class PackedFrameSimulator:
         """Replace the RNG stream, keeping the compiled program warm.
 
         ``sim.reseed(s).sample(n)`` is bit-identical to
-        ``PackedFrameSimulator(circuit, seed=s).sample(n)`` without paying
-        validation + compilation again — what the decoding pipeline uses to
-        run one warm simulator across shards and scheduler waves.
+        ``PackedFrameSimulator(circuit, seed=s, rng_mode=...).sample(n)``
+        without paying validation + compilation again — what the decoding
+        pipeline uses to run one warm simulator across shards and scheduler
+        waves.
+
+        Bitgen mode derives two child streams from the seed — one for raw
+        words, one for thinning doubles — so the (data-dependent) number of
+        correction draws can never shift word consumption.  Both ride
+        ``SFC64``: raw-word generation is the bitgen hot path and SFC64
+        emits full-width words ~1.6x faster than the default PCG64 (the
+        exact-mode ``self.rng`` stays PCG64 — its stream is pinned by the
+        paper-reproduction contract).
         """
         self.rng = np.random.default_rng(seed)
+        if self.rng_mode == "bitgen":
+            root = (seed if isinstance(seed, np.random.SeedSequence)
+                    else np.random.SeedSequence(seed))
+            key = tuple(root.spawn_key)
+            self._wrng = np.random.Generator(np.random.SFC64(
+                np.random.SeedSequence(entropy=root.entropy,
+                                       spawn_key=key + (0,))))
+            self._trng = np.random.Generator(np.random.SFC64(
+                np.random.SeedSequence(entropy=root.entropy,
+                                       spawn_key=key + (1,))))
         return self
 
     # ------------------------------------------------------------------
@@ -456,17 +664,36 @@ class PackedFrameSimulator:
         detectors = np.zeros((circuit.num_detectors, nw), dtype=np.uint64)
         observables = np.zeros((max(num_obs, 1), nw), dtype=np.uint64)
 
-        ops, max_draw_rows = self._program(fuse=trace is None)
+        ops, max_draw_rows, bg_aux = self._program(fuse=trace is None)
+        bitgen = self.rng_mode == "bitgen"
         # Shared draw/compare scratch, sized to one row block: reusing the
-        # buffers keeps the hot loop free of multi-MB allocations.
-        buf_rows = min(max_draw_rows,
-                       max(1, _BLOCK_BYTES // max(shots * 8, 1)))
-        rbuf = np.empty((buf_rows, shots)) if max_draw_rows else None
-        hbuf = np.empty((buf_rows, shots), dtype=bool) if max_draw_rows else None
+        # buffers keeps the hot loop free of multi-MB allocations.  Bitgen
+        # never touches float scratch — its masks are born packed.
+        rbuf = hbuf = None
+        if max_draw_rows and not bitgen:
+            buf_rows = min(max_draw_rows,
+                           max(1, _BLOCK_BYTES // max(shots * 8, 1)))
+            rbuf, hbuf = _draw_scratch(buf_rows, shots)
+        if bitgen:
+            wrng, trng = self._wrng, self._trng
+            tail = _tail_mask(shots)
 
         insts = circuit.instructions
-        for kind, first, data in ops:
-            if kind == "dep2":
+        for op_index, (kind, first, data) in enumerate(ops):
+            if bitgen and kind in _BITGEN_CHANNELS:
+                self._run_bitgen_channel(kind, data, bg_aux[op_index],
+                                         wrng, trng, x, z, nw, tail, shots)
+            elif bitgen and kind in ("m", "mx"):
+                tgt, m0, dup = data
+                frame, other = (x, z) if kind == "m" else (z, x)
+                meas_flips[m0:m0 + tgt.size] = frame[tgt]
+                # Measurement randomisation is Bernoulli(1/2) exactly: one
+                # fresh word per 64 lanes, no correction pass needed.
+                for i0, i1 in _row_blocks(tgt.size, shots):
+                    raw = _raw_words(wrng, (i1 - i0) * nw).reshape(i1 - i0, nw)
+                    raw[:, -1] &= tail
+                    _xor_scatter(other, tgt[i0:i1], raw, dup)
+            elif kind == "dep2":
                 a, b, pflat, dup_a, dup_b, sparse = data
                 for i0, i1 in _row_blocks(a.size, shots):
                     r = rbuf[:i1 - i0]
@@ -608,7 +835,77 @@ class PackedFrameSimulator:
             num_shots=shots,
         )
 
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_bitgen_channel(kind: str, data: tuple, aux: tuple,
+                            wrng: np.random.Generator,
+                            trng: np.random.Generator,
+                            x: np.ndarray, z: np.ndarray,
+                            nw: int, tail: np.uint64, shots: int) -> None:
+        """One noise-channel op on the bit-level path.
 
-def sample_detectors_packed(circuit: Circuit, shots: int, seed=None) -> PackedDetectorSamples:
+        Coarse packed Bernoulli(p_hi) mask -> candidate lanes -> one
+        thinning double per candidate (``u * p_hi < p`` keeps the lane, and
+        the kept ``u * p_hi`` is uniform on ``[0, p)``, reusing the exact
+        sparse path's Pauli-choice arithmetic).  Candidates enumerate in
+        row-major C order and blocks partition rows contiguously, so the
+        thinning stream — like the word stream — is consumed identically
+        for any block split and for stepwise (trace) programs.
+        """
+        if kind == "dep2":
+            a, b, pflat, _dup_a, _dup_b, _sparse = data
+            rows = a.size
+        else:
+            tgt, pflat = data[0], data[1]
+            rows = tgt.size
+        p_hi = aux[2]
+        for i0, i1 in _row_blocks(rows, shots):
+            coarse = _bitgen_mask(wrng, aux, i0, i1, nw, tail)
+            rows_i, cols_i = _hit_lanes(coarse)
+            if not rows_i.size:
+                continue
+            u = trng.random(rows_i.size)
+            pv = pflat[i0 + rows_i]
+            w = u * p_hi[i0 + rows_i]
+            keep = w < pv
+            rows_k = rows_i[keep]
+            cols_k = cols_i[keep]
+            if not rows_k.size:
+                continue
+            if kind in ("xerr", "zerr", "yerr"):
+                if kind != "zerr":
+                    _scatter_bits(x, tgt[i0 + rows_k], cols_k)
+                if kind != "xerr":
+                    _scatter_bits(z, tgt[i0 + rows_k], cols_k)
+                continue
+            w = w[keep]
+            pv = pv[keep]
+            if kind == "dep1":
+                # Equal chance p/3 for each of X, Y, Z (w ~ U[0, p)).
+                is_x = w < pv / 3
+                is_y = (w >= pv / 3) & (w < 2 * pv / 3)
+                xf = is_x | is_y
+                zf = ~is_x  # is_z | is_y, since w < pv by construction
+                _scatter_bits(x, tgt[i0 + rows_k[xf]], cols_k[xf])
+                _scatter_bits(z, tgt[i0 + rows_k[zf]], cols_k[zf])
+            else:  # dep2
+                # Uniform over the 15 non-identity two-qubit Paulis; the
+                # minimum mirrors the exact path's 1-ulp rounding guard.
+                code = np.minimum((w / (pv / 15)).astype(np.int8),
+                                  np.int8(14)) + 1
+                pa = code // 4
+                pb = code % 4
+                for dest, q, sel in (
+                    (x, a, (pa == 1) | (pa == 2)),
+                    (z, a, (pa == 2) | (pa == 3)),
+                    (x, b, (pb == 1) | (pb == 2)),
+                    (z, b, (pb == 2) | (pb == 3)),
+                ):
+                    _scatter_bits(dest, q[i0 + rows_k[sel]], cols_k[sel])
+
+
+def sample_detectors_packed(circuit: Circuit, shots: int, seed=None, *,
+                            rng_mode: str = "exact") -> PackedDetectorSamples:
     """Convenience wrapper: packed detector data for ``circuit``."""
-    return PackedFrameSimulator(circuit, seed=seed).sample(shots)
+    return PackedFrameSimulator(circuit, seed=seed,
+                                rng_mode=rng_mode).sample(shots)
