@@ -15,12 +15,12 @@ legacy sequential RNG stream for seed compatibility).
 """
 
 import json
-import os
 from pathlib import Path
 
 import pytest
 
 from repro.engine import Engine, EngineConfig, set_default_engine
+from repro.env import env_str
 
 #: Format version of the BENCH_*.json artifacts; bump when the layout of the
 #: records below changes so downstream diffing tools can tell.
@@ -66,7 +66,7 @@ def write_bench_json(name: str, series, **extra) -> Path:
     Output directory defaults to the working directory and can be redirected
     with ``REPRO_BENCH_DIR``.
     """
-    out_dir = Path(os.environ.get("REPRO_BENCH_DIR") or ".")
+    out_dir = Path(env_str("REPRO_BENCH_DIR", "."))
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
     body = {

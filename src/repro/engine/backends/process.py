@@ -21,6 +21,7 @@ are unknowable — but it fails once, not forever.
 from __future__ import annotations
 
 import atexit
+import threading
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Dict, List, Sequence
 
@@ -32,29 +33,38 @@ __all__ = ["ProcessPoolBackend"]
 # ----------------------------------------------------------------------
 # Process-wide pool registry (shared across backends/engines)
 # ----------------------------------------------------------------------
+# Guarded by _POOLS_LOCK: engines embedded in threaded hosts (the socket
+# worker serves each connection on its own thread) reach this registry
+# concurrently, and an unguarded get-or-create can spawn two pools for one
+# worker count and leak the loser.
 _POOLS: Dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def _get_pool(max_workers: int) -> ProcessPoolExecutor:
-    pool = _POOLS.get(max_workers)
-    if pool is None:
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-        _POOLS[max_workers] = pool
-    return pool
+    with _POOLS_LOCK:
+        pool = _POOLS.get(max_workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+            _POOLS[max_workers] = pool
+        return pool
 
 
 def _evict_pool(max_workers: int) -> None:
     """Drop (and shut down) the registered pool for ``max_workers``."""
-    pool = _POOLS.pop(max_workers, None)
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(max_workers, None)
     if pool is not None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
 @atexit.register
 def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
-    for pool in _POOLS.values():
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
         pool.shutdown(wait=False, cancel_futures=True)
-    _POOLS.clear()
 
 
 # ----------------------------------------------------------------------

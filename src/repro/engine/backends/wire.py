@@ -14,20 +14,39 @@ never drift apart:
   resolves it against its own installed ``repro``); responses are
   ``("ok", result)`` or ``("err", exception)``.
 
-Pickle implies **trust**: a worker executes whatever the connection sends.
+Pickle implies **trust**: a worker executes whatever the connection sends
+(requests carry a function pickled by reference, and the worker calls it).
 Workers bind to loopback by default and must only ever listen on networks
 where every peer is trusted (a lab cluster behind a firewall, an SSH
 tunnel) — exactly the trust model of every pickle-based RPC layer
 (``multiprocessing.managers`` included).
+
+Deserialisation is nonetheless **restricted**: :func:`recv_msg` resolves
+globals through an allowlist (:class:`_RestrictedUnpickler`) admitting only
+repro-internal modules, ``numpy``, and a fixed set of safe stdlib names
+(exception types, basic containers, the pickle machinery's own helpers).
+A frame referencing anything else — ``os.system``, ``subprocess.Popen``,
+``builtins.eval`` — fails with :class:`ProtocolError` *before* any object
+is constructed.  This is defence in depth, not a sandbox: the legitimate
+protocol already executes the functions it names, so the allowlist merely
+pins what a message can name to the surface the protocol actually uses,
+turning a whole class of pickle gadgets into immediate, logged rejections.
+The bytes on the wire are unchanged — framing, magic and the pickle
+payloads are byte-identical to previous revisions; only the *reader*
+became pickier.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
 import socket
 import struct
 
-__all__ = ["MAGIC", "send_msg", "recv_msg", "handshake", "ProtocolError"]
+from ...env import env_str
+
+__all__ = ["MAGIC", "send_msg", "recv_msg", "handshake", "ProtocolError",
+           "restricted_loads"]
 
 #: Protocol tag exchanged on connect; bump the digit on breaking changes.
 MAGIC = b"REPRO-WORKER-1\n"
@@ -41,6 +60,95 @@ MAX_MESSAGE_BYTES = 1 << 30
 
 class ProtocolError(ConnectionError):
     """The peer is not a compatible repro worker (bad magic / bad frame)."""
+
+
+# ----------------------------------------------------------------------
+# Restricted unpickling
+# ----------------------------------------------------------------------
+#: Module prefixes a wire frame may resolve globals from.  ``repro`` covers
+#: every task/result/callable the protocol legitimately ships; ``numpy``
+#: covers array payloads and the RNG state objects inside SeedSequence
+#: fingerprints.  A prefix matches the module itself or any submodule.
+_ALLOWED_MODULE_PREFIXES = ("repro", "numpy")
+
+#: Exact stdlib names a frame may resolve.  Exception types let ``("err",
+#: exc)`` replies round-trip; the rest are the inert building blocks the
+#: pickle machinery itself emits for containers and dataclasses.  Nothing
+#: here executes code on construction.
+_ALLOWED_STDLIB = {
+    ("builtins", name) for name in (
+        "complex", "frozenset", "set", "bytearray", "range", "slice",
+        "list", "tuple", "dict", "bool", "int", "float", "str", "bytes",
+        # exception hierarchy used by ("err", exception) replies
+        "BaseException", "Exception", "ArithmeticError", "AssertionError",
+        "AttributeError", "BufferError", "EOFError", "FloatingPointError",
+        "ImportError", "IndexError", "KeyError", "KeyboardInterrupt",
+        "LookupError", "MemoryError", "ModuleNotFoundError", "NameError",
+        "NotImplementedError", "OSError", "OverflowError", "RecursionError",
+        "ReferenceError", "RuntimeError", "StopIteration", "SyntaxError",
+        "SystemError", "TimeoutError", "TypeError", "ValueError",
+        "ZeroDivisionError", "ConnectionError", "ConnectionResetError",
+        "ConnectionAbortedError", "ConnectionRefusedError", "BrokenPipeError",
+        "FileExistsError", "FileNotFoundError", "InterruptedError",
+        "IsADirectoryError", "NotADirectoryError", "PermissionError",
+        "ProcessLookupError", "UnicodeDecodeError", "UnicodeEncodeError",
+        "UnicodeError",
+    )
+} | {
+    ("collections", "OrderedDict"),
+    ("collections", "defaultdict"),
+    ("collections", "deque"),
+    ("collections", "Counter"),
+    ("copyreg", "_reconstructor"),
+    ("datetime", "timedelta"),
+    ("fractions", "Fraction"),
+    ("decimal", "Decimal"),
+    ("concurrent.futures.process", "BrokenProcessPool"),
+    ("concurrent.futures", "BrokenExecutor"),
+}
+
+
+def _extra_prefixes() -> tuple:
+    """Additional allowed module prefixes from ``REPRO_WIRE_ALLOW``.
+
+    Comma-separated module prefixes a deployment may graft onto the
+    allowlist (the test suite uses it to ship its own helper functions to
+    real worker subprocesses).  Read lazily so spawned workers pick it up
+    from their inherited environment.
+    """
+    raw = env_str("REPRO_WIRE_ALLOW")
+    if not raw:
+        return ()
+    return tuple(p.strip() for p in raw.split(",") if p.strip())
+
+
+def _global_allowed(module: str, name: str) -> bool:
+    for prefix in _ALLOWED_MODULE_PREFIXES + _extra_prefixes():
+        if module == prefix or module.startswith(prefix + "."):
+            return True
+    return (module, name) in _ALLOWED_STDLIB
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    """Unpickler whose global lookups go through :func:`_global_allowed`."""
+
+    def find_class(self, module, name):
+        if not _global_allowed(module, name):
+            raise ProtocolError(
+                f"wire frame references disallowed global "
+                f"{module}.{name}; repro workers only unpickle "
+                f"repro-internal and numpy objects"
+            )
+        return super().find_class(module, name)
+
+
+def restricted_loads(payload: bytes):
+    """``pickle.loads`` through the wire allowlist (see module docstring).
+
+    Raises :class:`ProtocolError` when the payload names a global outside
+    the allowlist — before constructing any object from the frame.
+    """
+    return _RestrictedUnpickler(io.BytesIO(payload)).load()
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -66,7 +174,7 @@ def recv_msg(sock: socket.socket):
     (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if length > MAX_MESSAGE_BYTES:
         raise ProtocolError(f"message of {length} bytes exceeds protocol limit")
-    return pickle.loads(_recv_exact(sock, length))
+    return restricted_loads(_recv_exact(sock, length))
 
 
 def handshake(sock: socket.socket) -> None:

@@ -138,9 +138,11 @@ class ResultCache:
             if self.invalidate(key):
                 removed += 1
         if self.root.is_dir():
-            for sub in self.root.iterdir():
+            # sorted(): directory iteration order is filesystem-dependent;
+            # deterministic walk order keeps deletion logs/tracing stable.
+            for sub in sorted(self.root.iterdir()):
                 if sub.is_dir() and len(sub.name) == 2:
-                    for tmp in sub.glob("tmp*.tmp"):
+                    for tmp in sorted(sub.glob("tmp*.tmp")):
                         try:
                             os.unlink(tmp)
                         except OSError:

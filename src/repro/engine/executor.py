@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,7 +40,7 @@ import numpy as np
 
 from ..analysis.stats import BinomialEstimate
 from ..core.patch import AdaptedPatch
-from ..env import env_choice, env_hosts, env_int
+from ..env import env_choice, env_hosts, env_int, env_str
 from ..decoder.matching import MatchingGraph, MwpmDecoder
 from ..decoder.unionfind import UnionFindDecoder
 from ..stabilizer.dem import build_detector_error_model
@@ -124,7 +125,7 @@ class EngineConfig:
         """
         env = os.environ if env is None else env
         workers = env_int("REPRO_WORKERS", 1, minimum=1, env=env)
-        cache = env.get("REPRO_CACHE") or None
+        cache = env_str("REPRO_CACHE", env=env)
         shard = env_int("REPRO_SHARD_SIZE", 4096, minimum=1, env=env)
         backend = env_choice("REPRO_BACKEND", "process", BACKEND_NAMES,
                              env=env)
@@ -280,7 +281,15 @@ class _SweepTaskRun:
 # ----------------------------------------------------------------------
 # Worker-side execution (top-level so ProcessPoolExecutor can pickle it)
 # ----------------------------------------------------------------------
+#: Warm-context memo, guarded by ``_TASK_MEMO_LOCK``: pool workers own their
+#: process, but the socket worker serves every connection on its own thread,
+#: so concurrent ``_run_ler_shard`` calls land on this dict together.  Only
+#: the memo bookkeeping is locked — pipeline builds run outside the lock, so
+#: two threads racing on a cold key may both build; the last insert wins and
+#: the loser's pipeline is simply garbage-collected (correct either way:
+#: pipelines for one content hash are interchangeable).
 _TASK_MEMO: Dict[str, tuple] = {}
+_TASK_MEMO_LOCK = threading.Lock()
 
 
 def _task_memo_limit(env=None) -> int:
@@ -304,7 +313,8 @@ def _context_for(task: LerPointTask) -> tuple:
     LRU-bounded by :func:`_task_memo_limit`.
     """
     key = task.content_hash()
-    ctx = _TASK_MEMO.pop(key, None)
+    with _TASK_MEMO_LOCK:
+        ctx = _TASK_MEMO.pop(key, None)
     if ctx is None:
         circuit = task.build_circuit()
         dem = build_detector_error_model(circuit)
@@ -322,10 +332,11 @@ def _context_for(task: LerPointTask) -> tuple:
             # arm _run_ler_shard to persist it back after each shard.
             pipeline.attach_memo_store(memo_store, key, task.decoder)
         ctx = (pipeline, len(dem))
-        limit = _task_memo_limit()
+    limit = _task_memo_limit()
+    with _TASK_MEMO_LOCK:
         while len(_TASK_MEMO) >= limit:
             _TASK_MEMO.pop(next(iter(_TASK_MEMO)))
-    _TASK_MEMO[key] = ctx  # (re-)insert at the recent end
+        _TASK_MEMO[key] = ctx  # (re-)insert at the recent end
     return ctx
 
 

@@ -46,13 +46,12 @@ sample-then-``decode_batch`` path for any chunk size.
 from __future__ import annotations
 
 import hashlib
-import os
 import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..decoder.base import BatchDecoderBase
-from ..env import env_int
+from ..env import env_int, env_str
 from ..stabilizer.circuit import Circuit
 from ..stabilizer.packed import PackedFrameSimulator
 from .cache import ResultCache
@@ -114,7 +113,7 @@ def _memo_cache() -> Optional[ResultCache]:
     """The memo store for this process, or None when persistence is off."""
     if not memo_persist_enabled():
         return None
-    root = _MEMO_CACHE_DIR or os.environ.get("REPRO_CACHE") or None
+    root = _MEMO_CACHE_DIR or env_str("REPRO_CACHE")
     return ResultCache(root) if root else None
 
 

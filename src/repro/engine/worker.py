@@ -32,7 +32,6 @@ see :mod:`repro.engine.backends.wire`.
 from __future__ import annotations
 
 import argparse
-import os
 import pickle
 import socket
 import sys
@@ -40,6 +39,7 @@ import threading
 import traceback
 from typing import Optional
 
+from ..env import env_str
 from .backends.wire import MAGIC, ProtocolError, recv_msg, send_msg
 from .pipeline import memo_preload
 
@@ -122,7 +122,7 @@ def serve(host: str = "127.0.0.1", port: int = 0, *,
     ``(host, port)`` once the socket is listening and ``ready_event`` is
     then set.
     """
-    cache = cache_dir or os.environ.get("REPRO_CACHE") or None
+    cache = cache_dir or env_str("REPRO_CACHE")
     if cache is not None:
         # Process-wide preload target; only touch it when this worker was
         # actually given a cache (in-process test servers must not clobber

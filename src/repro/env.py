@@ -1,10 +1,12 @@
 """Validated parsing of ``REPRO_*`` environment variables.
 
 Every runtime knob the library reads from the environment goes through
-:func:`env_int` / :func:`env_choice` / :func:`env_hosts`, so a typo'd or
-out-of-range value fails immediately with a message naming the variable —
-instead of a bare ``int()`` traceback deep in an engine worker, or (worse)
-a silently accepted negative limit.
+:func:`env_int` / :func:`env_float` / :func:`env_str` / :func:`env_choice`
+/ :func:`env_hosts`, so a typo'd or out-of-range value fails immediately
+with a message naming the variable and the offending value — instead of a
+bare ``int()`` traceback deep in an engine worker, or (worse) a silently
+accepted negative limit.  Rule R002 of :mod:`repro.lint` enforces this:
+raw ``os.environ`` reads of ``REPRO_*`` anywhere else are a lint error.
 
 The helpers deliberately live in a leaf module with no intra-package
 imports: they are shared by :mod:`repro.decoder.base`,
@@ -17,7 +19,30 @@ from __future__ import annotations
 import os
 from typing import Mapping, Optional, Sequence, Tuple
 
-__all__ = ["env_int", "env_float", "env_choice", "env_hosts"]
+__all__ = ["env_int", "env_float", "env_str", "env_choice", "env_hosts"]
+
+
+def env_str(
+    name: str,
+    default: Optional[str] = None,
+    *,
+    env: Optional[Mapping[str, str]] = None,
+) -> Optional[str]:
+    """Read a free-form string variable ``name`` (paths, URLs, hostnames).
+
+    An unset, empty or whitespace-only variable yields ``default``;
+    anything else is returned stripped of surrounding whitespace (a
+    trailing space in ``REPRO_CACHE=/tmp/cache `` must not silently create
+    a differently-named directory).  This is the sanctioned reader for
+    string-valued ``REPRO_*`` knobs — raw ``os.environ`` reads of them are
+    a lint error (rule R002).
+    """
+    env = os.environ if env is None else env
+    raw = env.get(name)
+    if raw is None:
+        return default
+    value = str(raw).strip()
+    return value if value else default
 
 
 def env_int(
@@ -136,12 +161,16 @@ def env_hosts(
         try:
             port = int(port_text)
         except ValueError:
+            # Same error style as env_int: name the variable *and* show the
+            # offending value, so the fix is obvious from the message alone.
             raise ValueError(
-                f"{name} entry {entry!r} has a non-integer port"
+                f"{name} entry {entry!r} has a non-integer port, "
+                f"got {port_text!r}"
             ) from None
         if not 1 <= port <= 65535:
             raise ValueError(
-                f"{name} entry {entry!r} has an out-of-range port"
+                f"{name} entry {entry!r} has an out-of-range port, "
+                f"got {port} (must be in [1, 65535])"
             )
         hosts.append((host, port))
     return tuple(hosts)

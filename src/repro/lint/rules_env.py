@@ -1,0 +1,94 @@
+"""R002 — every ``REPRO_*`` knob flows through :mod:`repro.env`.
+
+The validated readers (``env_int`` / ``env_float`` / ``env_choice`` /
+``env_hosts`` / ``env_str``) are the *only* sanctioned way to read a
+``REPRO_*`` variable: they normalise whitespace, range-check, and fail with
+the variable's name and the offending value in the message.  A raw
+``os.environ.get("REPRO_FOO")`` sidesteps all of that — a typo'd value
+surfaces as a bare traceback deep in a worker, or worse, is silently
+accepted.
+
+Flagged, anywhere outside ``src/repro/env.py``:
+
+* ``os.environ.get("REPRO_*", ...)`` and ``os.getenv("REPRO_*", ...)``;
+* ``os.environ["REPRO_*"]`` *reads* (subscript loads; assignments and
+  ``del`` — e.g. a test mutating its environment — are writes, not reads,
+  and stay legal);
+* ``<anything>.get("REPRO_*")`` — covers the ``env.get(...)`` idiom on a
+  mapping parameter that defaults to ``os.environ``, which is how raw
+  reads historically snuck past review;
+* ``"REPRO_*" in os.environ`` membership probes.
+
+The string-literal heuristic is deliberate: only keys named ``REPRO_*``
+are the library's contract; reads of foreign variables (``HOME``,
+``CI``…) are not this rule's business.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .core import FileContext, Finding, Rule, register_rule
+
+RULE_ID = "R002"
+
+_FIXIT = ("read it through repro.env (env_int / env_float / env_choice / "
+          "env_hosts / env_str) so bad values fail with the variable named")
+
+
+def _repro_literal(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str) \
+            and node.value.startswith("REPRO_"):
+        return node.value
+    return None
+
+
+def _finding(ctx: FileContext, node: ast.AST, var: str, how: str) -> Finding:
+    return Finding(
+        rule=RULE_ID, path=ctx.path, line=node.lineno,
+        col=node.col_offset + 1,
+        message=f"raw read of {var} via {how} bypasses the validated "
+                "repro.env readers",
+        fixit=_FIXIT,
+    )
+
+
+def _check(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            dotted = ctx.dotted_name(node.func)
+            first = _repro_literal(node.args[0]) if node.args else None
+            if first is None:
+                continue
+            if dotted == "os.getenv":
+                yield _finding(ctx, node, first, "os.getenv")
+            elif dotted is not None and dotted.endswith(".get"):
+                # .get("REPRO_*") on anything — os.environ or an `env`
+                # mapping parameter alike.
+                yield _finding(ctx, node, first, f"{dotted}(...)")
+        elif isinstance(node, ast.Subscript):
+            if not isinstance(node.ctx, ast.Load):
+                continue  # writes/deletes (test setup) are not reads
+            key = _repro_literal(node.slice)
+            if key is None:
+                continue
+            dotted = ctx.dotted_name(node.value)
+            if dotted is not None and dotted.endswith("environ"):
+                yield _finding(ctx, node, key, f"{dotted}[...]")
+        elif isinstance(node, ast.Compare):
+            key = _repro_literal(node.left)
+            if key is None or len(node.ops) != 1 \
+                    or not isinstance(node.ops[0], (ast.In, ast.NotIn)):
+                continue
+            dotted = ctx.dotted_name(node.comparators[0])
+            if dotted is not None and dotted.endswith("environ"):
+                yield _finding(ctx, node, key, f"membership test on {dotted}")
+
+
+register_rule(Rule(
+    rule_id=RULE_ID,
+    title="REPRO_* knobs read only via repro.env",
+    check=_check,
+    exempt_paths=("src/repro/env.py",),
+))

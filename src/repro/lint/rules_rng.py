@@ -1,0 +1,123 @@
+"""R001 — no global-state or unseeded RNG outside the blessed modules.
+
+Every random number in this repo must descend from an explicit
+``SeedSequence`` root (:mod:`repro.engine.rng`): that is what makes results
+bit-identical across the serial, process-pool and socket backends, across
+worker counts, and across reruns.  Three patterns break that contract and
+are flagged:
+
+* calls into numpy's *global* generator — ``np.random.rand(...)``,
+  ``np.random.seed(...)``, ``np.random.shuffle(...)`` and friends.
+  Constructing generators (``default_rng``, ``Generator``, ``SeedSequence``,
+  the bit generators) is fine; *sampling from the module itself* is not.
+* any use of the stdlib :mod:`random` module (its state is process-global
+  and seeded from OS entropy);
+* ``default_rng()`` called with **no arguments** — that draws fresh OS
+  entropy, so the result can never be reproduced or cached.
+
+``default_rng(seed)`` with an argument is allowed even though the argument
+might be ``None`` at runtime: the engine deliberately supports explicit
+unseeded runs (they are excluded from the cache), and a lexical pass cannot
+tell the two apart.  The exempt paths are the RNG derivation module itself
+and the frozen reference simulator, whose job is to preserve historical
+draw order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import FileContext, Finding, Rule, register_rule
+
+RULE_ID = "R001"
+
+#: Attributes of ``numpy.random`` that are constructors/types, not samples
+#: from the global state.
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "RandomState",  # explicit legacy generator object, not the global one
+    "SFC64", "PCG64", "PCG64DXSM", "Philox", "MT19937",
+})
+
+
+def _check(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        # Stdlib `random` imports are flagged at the import itself.
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield Finding(
+                        rule=RULE_ID, path=ctx.path, line=node.lineno,
+                        col=node.col_offset + 1,
+                        message="stdlib `random` is process-global state",
+                        fixit="derive a generator from the task's "
+                              "SeedSequence via repro.engine.rng instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                yield Finding(
+                    rule=RULE_ID, path=ctx.path, line=node.lineno,
+                    col=node.col_offset + 1,
+                    message="stdlib `random` is process-global state",
+                    fixit="derive a generator from the task's SeedSequence "
+                          "via repro.engine.rng instead",
+                )
+        elif isinstance(node, ast.Call):
+            yield from _check_call(ctx, node)
+
+
+def _check_call(ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+    dotted = ctx.dotted_name(node.func)
+    if dotted is None:
+        return
+    # numpy.random.<sample>(...) — global-state draws.
+    if dotted.startswith("numpy.random."):
+        attr = dotted[len("numpy.random."):]
+        if "." not in attr and attr not in _NP_RANDOM_OK:
+            yield Finding(
+                rule=RULE_ID, path=ctx.path, line=node.lineno,
+                col=node.col_offset + 1,
+                message=f"np.random.{attr}() samples numpy's global RNG "
+                        "state; results depend on call order across the "
+                        "whole process",
+                fixit="thread an explicit np.random.Generator (seeded from "
+                      "the task's SeedSequence) to this call site",
+            )
+        if attr == "default_rng" and not node.args and not node.keywords:
+            yield _unseeded(ctx, node)
+    # stdlib random module calls (import tracked by alias table).
+    elif dotted.startswith("random."):
+        head = dotted.split(".")[0]
+        if ctx.module_aliases.get(head) == "random":
+            yield Finding(
+                rule=RULE_ID, path=ctx.path, line=node.lineno,
+                col=node.col_offset + 1,
+                message=f"{dotted}() draws from the stdlib's process-global "
+                        "RNG",
+                fixit="derive a generator from the task's SeedSequence via "
+                      "repro.engine.rng instead",
+            )
+
+
+def _unseeded(ctx: FileContext, node: ast.Call) -> Finding:
+    return Finding(
+        rule=RULE_ID, path=ctx.path, line=node.lineno,
+        col=node.col_offset + 1,
+        message="default_rng() with no seed draws fresh OS entropy — the "
+                "run can never be reproduced or cached",
+        fixit="pass a seed or SeedSequence (see repro.engine.rng."
+              "child_stream); use seed=None explicitly at an API boundary "
+              "that documents irreproducibility",
+    )
+
+
+register_rule(Rule(
+    rule_id=RULE_ID,
+    title="no global-state or unseeded RNG",
+    check=_check,
+    exempt_paths=(
+        "src/repro/engine/rng.py",          # the derivation module itself
+        "src/repro/stabilizer/reference.py",  # frozen historical draw order
+    ),
+))

@@ -1,0 +1,105 @@
+"""R003 — no wall-clock / per-process values feeding hashes or payloads.
+
+Content hashes, cache keys and serialized task payloads must be pure
+functions of the task's fields: that is the entire basis of the
+content-addressed result cache and of cross-process bit-identity.  A
+timestamp, a ``hash()`` of a string (salted per process by
+``PYTHONHASHSEED``), an ``id()`` (an address), a uuid or OS entropy mixed
+into any of them silently produces records that can never hit, or — far
+worse — keys that alias across meanings.
+
+A full dataflow analysis is out of scope for a lexical pass, so the rule
+uses the repo's naming discipline as its proxy: inside any function whose
+name marks it as hash/serialization machinery (``content_hash``,
+``*cache_key*``, ``payload``, ``canonical*``, ``serialize*``,
+``fingerprint*``, ``to_json``…), calls to nondeterministic sources are
+flagged.  Dunder methods are excluded — ``__hash__`` legitimately uses
+in-process ``hash()``, which never leaves the process.
+
+Sources flagged: ``time.time`` / ``time.time_ns`` / ``time.monotonic`` /
+``time.perf_counter``, ``datetime.(date)time.now/utcnow/today``, builtin
+``hash()`` and ``id()``, ``uuid.uuid1/3/4/5``, ``os.urandom``,
+``os.getpid``, ``secrets.*``, ``socket.gethostname``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from .core import FileContext, Finding, Rule, register_rule
+
+RULE_ID = "R003"
+
+#: Function names that mark hash/serialization machinery.
+CONTEXT_RE = re.compile(
+    r"(content_hash|cache_key|payload|canonical|serializ|fingerprint"
+    r"|to_json|wire_frame|_key$|^key_)", re.IGNORECASE
+)
+
+_BAD_DOTTED = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "uuid.uuid1", "uuid.uuid3", "uuid.uuid4", "uuid.uuid5",
+    "os.urandom", "os.getpid", "socket.gethostname",
+})
+
+_BAD_BUILTINS = frozenset({"hash", "id"})
+
+
+def _is_hash_context(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    return bool(CONTEXT_RE.search(name))
+
+
+def _check(ctx: FileContext) -> Iterator[Finding]:
+    yield from _walk(ctx, ctx.tree, in_context=False)
+
+
+def _walk(ctx: FileContext, node: ast.AST, in_context: bool) -> Iterator[Finding]:
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield from _walk(ctx, child,
+                             in_context or _is_hash_context(child.name))
+            continue
+        if in_context and isinstance(child, ast.Call):
+            yield from _check_call(ctx, child)
+        yield from _walk(ctx, child, in_context)
+
+
+def _check_call(ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+    findings: List[Finding] = []
+    dotted = ctx.dotted_name(node.func)
+    if dotted in _BAD_DOTTED or (dotted or "").startswith("secrets."):
+        findings.append(Finding(
+            rule=RULE_ID, path=ctx.path, line=node.lineno,
+            col=node.col_offset + 1,
+            message=f"{dotted}() is nondeterministic and this function "
+                    "feeds a hash/cache key/serialized payload",
+            fixit="derive the value from task fields (or inject a clock at "
+                  "the API boundary); hashes must be pure functions of the "
+                  "spec",
+        ))
+    elif isinstance(node.func, ast.Name) and node.func.id in _BAD_BUILTINS \
+            and node.func.id not in ctx.from_imports \
+            and node.func.id not in ctx.module_aliases:
+        findings.append(Finding(
+            rule=RULE_ID, path=ctx.path, line=node.lineno,
+            col=node.col_offset + 1,
+            message=f"builtin {node.func.id}() is salted/address-based per "
+                    "process and must not feed a persisted hash or payload",
+            fixit="use hashlib over canonical JSON (see "
+                  "repro.engine.tasks.canonical_json) instead",
+        ))
+    yield from findings
+
+
+register_rule(Rule(
+    rule_id=RULE_ID,
+    title="no nondeterministic sources in hash/serialization contexts",
+    check=_check,
+))

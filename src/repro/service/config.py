@@ -28,10 +28,9 @@ bit-identical and the store's ownership guard lets exactly one finish win.
 
 from __future__ import annotations
 
-import os
 from typing import Mapping, Optional, Tuple
 
-from ..env import env_float, env_int
+from ..env import env_float, env_int, env_str
 
 __all__ = [
     "service_db_path",
@@ -52,9 +51,7 @@ DEFAULT_AGING = 0.05
 
 def service_db_path(env: Optional[Mapping[str, str]] = None) -> str:
     """Job-store path from ``REPRO_SERVICE_DB`` (default ``.repro-service.db``)."""
-    env = os.environ if env is None else env
-    raw = env.get("REPRO_SERVICE_DB")
-    return raw if raw else DEFAULT_DB
+    return env_str("REPRO_SERVICE_DB", DEFAULT_DB, env=env)
 
 
 def service_lease_seconds(env: Optional[Mapping[str, str]] = None) -> float:
@@ -67,8 +64,7 @@ def service_lease_seconds(env: Optional[Mapping[str, str]] = None) -> float:
 
 def service_host_port(env: Optional[Mapping[str, str]] = None) -> Tuple[str, int]:
     """API bind address from ``REPRO_SERVICE_HOST`` / ``REPRO_SERVICE_PORT``."""
-    env = os.environ if env is None else env
-    host = env.get("REPRO_SERVICE_HOST") or DEFAULT_HOST
+    host = env_str("REPRO_SERVICE_HOST", DEFAULT_HOST, env=env)
     port = env_int("REPRO_SERVICE_PORT", DEFAULT_PORT, minimum=0, env=env)
     if port > 65535:
         raise ValueError(f"REPRO_SERVICE_PORT out of range: {port}")
@@ -90,8 +86,7 @@ def service_aging_rate(env: Optional[Mapping[str, str]] = None) -> float:
 
 def service_url(env: Optional[Mapping[str, str]] = None) -> str:
     """Base URL the CLI targets, from ``REPRO_SERVICE_URL``."""
-    env = os.environ if env is None else env
-    raw = env.get("REPRO_SERVICE_URL")
+    raw = env_str("REPRO_SERVICE_URL", env=env)
     if raw:
         return raw.rstrip("/")
     return f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"

@@ -36,6 +36,7 @@ from typing import Dict, Optional
 from ..analysis.stats import wilson_interval
 from ..engine.cache import ResultCache
 from ..engine.executor import Engine, EngineConfig, WaveUpdate
+from ..env import env_str
 from ..engine.pipeline import memo_preload
 from .config import service_db_path, service_lease_seconds, service_poll_seconds
 from .scheduler import JobScheduler, SchedulerConfig
@@ -259,7 +260,7 @@ def main(argv=None) -> None:
 
     store = JobStore(args.db or service_db_path())
     cache_dir = args.cache if args.cache is not None \
-        else (os.environ.get("REPRO_CACHE") or None)
+        else env_str("REPRO_CACHE")
     # Point this worker process's decoding pipelines at the shared cache so
     # the first shard of a restarted worker imports any persisted syndrome
     # memo instead of re-paying the d=5 cold-start decode rebuild.  Done at

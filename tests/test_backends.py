@@ -53,6 +53,9 @@ def _launch_worker():
     if env.get("PYTHONPATH"):
         extra.append(env["PYTHONPATH"])
     env["PYTHONPATH"] = os.pathsep.join(extra)
+    # The wire allowlist admits repro/numpy only; grant this test module
+    # so the workers will unpickle the helpers above.
+    env["REPRO_WIRE_ALLOW"] = "test_backends"
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.engine.worker", "--port", "0"],
         stdout=subprocess.PIPE, text=True, env=env, cwd=REPO_ROOT)
@@ -428,10 +431,14 @@ class TestBackendConstruction:
 # Worker protocol (in-process server, no subprocess)
 # ----------------------------------------------------------------------
 class TestWorkerProtocol:
-    def test_in_process_serve_round_trip(self):
+    def test_in_process_serve_round_trip(self, monkeypatch):
         import threading
 
         from repro.engine import worker as worker_mod
+
+        # In-process server shares this environment; admit the test module
+        # through the wire allowlist for the _identity helper.
+        monkeypatch.setenv("REPRO_WIRE_ALLOW", "test_backends")
 
         ready = threading.Event()
         bound = []
@@ -471,6 +478,49 @@ class TestWorkerProtocol:
         finally:
             client.close()
             server.close()
+
+    def test_restricted_unpickler_rejects_foreign_globals(self):
+        """A crafted frame naming os.system dies before any construction."""
+        import pickle
+
+        from repro.engine.backends.wire import ProtocolError, restricted_loads
+
+        # Hand-written pickle: GLOBAL os.system, argument, REDUCE. Built
+        # from opcodes (not pickle.dumps) so the test documents the exact
+        # gadget shape the allowlist must stop.
+        gadget = b"cos\nsystem\n(S'echo owned'\ntR."
+        with pytest.raises(ProtocolError, match="os.system"):
+            restricted_loads(gadget)
+
+        class Sneaky:
+            def __reduce__(self):
+                import subprocess
+                return (subprocess.call, (["true"],))
+
+        with pytest.raises(ProtocolError, match="subprocess"):
+            restricted_loads(pickle.dumps(Sneaky()))
+
+    def test_restricted_unpickler_accepts_protocol_traffic(self):
+        """Everything the real protocol ships still round-trips."""
+        import pickle
+
+        import numpy as np
+
+        from repro.engine.backends.wire import restricted_loads
+        from repro.engine.executor import _run_ler_shard
+        from repro.engine.rng import as_seed_sequence
+
+        messages = [
+            ("call", _run_ler_shard, ("task-stand-in",
+                                      as_seed_sequence(7), 64)),
+            ("ok", (3, 8, 12)),
+            ("err", RuntimeError("worker-side error")),
+            ("ok", np.arange(5)),
+        ]
+        for msg in messages:
+            out = restricted_loads(
+                pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL))
+            assert out[0] == msg[0]
 
     def test_unpicklable_worker_error_is_reported_faithfully(self):
         from repro.engine.worker import _portable_error

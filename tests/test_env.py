@@ -14,7 +14,7 @@ import pytest
 from repro.decoder.base import syndrome_cache_limit
 from repro.engine.executor import EngineConfig
 from repro.engine.pipeline import default_chunk_shots
-from repro.env import env_choice, env_float, env_hosts, env_int
+from repro.env import env_choice, env_float, env_hosts, env_int, env_str
 from repro.service.config import (
     service_aging_rate,
     service_db_path,
@@ -110,6 +110,28 @@ class TestEnvHosts:
     def test_malformed_entries_rejected_with_name(self, raw):
         with pytest.raises(ValueError, match="REPRO_H"):
             env_hosts("REPRO_H", env={"REPRO_H": raw})
+
+    def test_errors_name_the_offending_value(self):
+        # Audit parity with env_int: the message carries variable name AND
+        # the rejected text, so a typo'd fleet entry is findable from the
+        # traceback alone.
+        with pytest.raises(ValueError, match=r"'abc'"):
+            env_hosts("REPRO_H", env={"REPRO_H": "h:abc"})
+        with pytest.raises(ValueError, match=r"70000"):
+            env_hosts("REPRO_H", env={"REPRO_H": "h:70000"})
+
+
+class TestEnvStr:
+    def test_missing_and_empty_yield_default(self):
+        assert env_str("REPRO_CACHE", env={}) is None
+        assert env_str("REPRO_CACHE", ".cache", env={}) == ".cache"
+        assert env_str("REPRO_CACHE", ".cache",
+                       env={"REPRO_CACHE": "   "}) == ".cache"
+
+    def test_value_is_stripped(self):
+        # A trailing space must not silently name a different directory.
+        assert env_str("REPRO_CACHE",
+                       env={"REPRO_CACHE": " /tmp/c "}) == "/tmp/c"
 
 
 class TestEngineConfigFromEnv:
