@@ -26,7 +26,9 @@ from repro.env import env_str
 #: records below changes so downstream diffing tools can tell.
 #: v2: sampler_throughput grew bitgen-vs-exact rng_mode series, and the
 #: fast_rng artifact joined the set.
-BENCH_JSON_SCHEMA = 2
+#: v3: sweep_scheduler grew the fused series + fusion counters, and the
+#: fused_sweep artifact joined the set.
+BENCH_JSON_SCHEMA = 3
 
 
 @pytest.fixture(scope="session")

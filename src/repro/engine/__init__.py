@@ -44,6 +44,7 @@ from .pipeline import DecodingPipeline, PipelineStats, default_chunk_shots
 from .executor import (
     Engine,
     EngineConfig,
+    FusionStats,
     LerResult,
     SweepItem,
     WaveUpdate,
@@ -78,6 +79,7 @@ __all__ = [
     "default_chunk_shots",
     "Engine",
     "EngineConfig",
+    "FusionStats",
     "LerResult",
     "SweepItem",
     "WaveUpdate",

@@ -44,15 +44,17 @@ from ..env import env_choice, env_hosts, env_int, env_str
 from ..decoder.matching import MatchingGraph, MwpmDecoder
 from ..decoder.unionfind import UnionFindDecoder
 from ..stabilizer.dem import build_detector_error_model
+from ..stabilizer.packed import FusedProgram, fused_shot_budget
 from .backends import BACKEND_NAMES, Backend, create_backend
 from .cache import ResultCache
 from .pipeline import DecodingPipeline, _memo_cache
 from .rng import Seed, as_seed_sequence, child_stream, from_fingerprint, seed_fingerprint
-from .scheduler import ShotPolicy, ShotScheduler
+from .scheduler import ShotPolicy, ShotScheduler, rng_mode_shot_cost
 from .tasks import LerPointTask, PatchSampleTask, YieldTask, canonical_json
 
 __all__ = [
     "EngineConfig",
+    "FusionStats",
     "LerResult",
     "SweepItem",
     "WaveUpdate",
@@ -93,6 +95,17 @@ class EngineConfig:
         ``(host, port)`` pairs of remote workers for the socket backend;
         ignored by the other backends.  An entry per job slot — list a
         host twice to keep two shards in flight there.
+    fuse_tasks:
+        Maximum shards per fused dispatch group in ``run_sweep`` (see
+        :func:`_plan_fused_groups`); ``1`` disables fusion.  Pure dispatch
+        batching — results and cache records are fusion-invariant, so the
+        knob is excluded from cache keys like the backend choice.
+    fuse_shots:
+        Per-group budget, in exact-shot equivalents, that a fused group's
+        weighted shard costs may not exceed (bitgen shards count ~1/3 —
+        :func:`~repro.engine.scheduler.rng_mode_shot_cost`).  Keeps fusion
+        to the many-small-shard regime it pays off in: one oversized shard
+        already saturates a worker, so batching it only delays neighbours.
     """
 
     max_workers: int = 1
@@ -100,12 +113,18 @@ class EngineConfig:
     cache_dir: Optional[str] = None
     backend: str = "process"
     hosts: Tuple[Tuple[str, int], ...] = ()
+    fuse_tasks: int = 8
+    fuse_shots: int = 8192
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
         if self.shard_size <= 0:
             raise ValueError("shard_size must be positive")
+        if self.fuse_tasks <= 0:
+            raise ValueError("fuse_tasks must be positive (1 disables fusion)")
+        if self.fuse_shots <= 0:
+            raise ValueError("fuse_shots must be positive")
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
@@ -117,7 +136,8 @@ class EngineConfig:
     @classmethod
     def from_env(cls, env=None) -> "EngineConfig":
         """Read ``REPRO_WORKERS`` / ``REPRO_CACHE`` / ``REPRO_SHARD_SIZE``
-        plus the backend selection (``REPRO_BACKEND`` / ``REPRO_HOSTS``).
+        plus the backend selection (``REPRO_BACKEND`` / ``REPRO_HOSTS``)
+        and the fusion budgets (``REPRO_FUSE_TASKS`` / ``REPRO_FUSE_SHOTS``).
 
         Every variable is validated up front (:mod:`repro.env`): garbage,
         non-positive or malformed values raise a ``ValueError`` naming the
@@ -130,8 +150,11 @@ class EngineConfig:
         backend = env_choice("REPRO_BACKEND", "process", BACKEND_NAMES,
                              env=env)
         hosts = env_hosts("REPRO_HOSTS", env=env)
+        fuse_tasks = env_int("REPRO_FUSE_TASKS", 8, minimum=1, env=env)
+        fuse_shots = env_int("REPRO_FUSE_SHOTS", 8192, minimum=1, env=env)
         return cls(max_workers=workers, shard_size=shard, cache_dir=cache,
-                   backend=backend, hosts=hosts)
+                   backend=backend, hosts=hosts,
+                   fuse_tasks=fuse_tasks, fuse_shots=fuse_shots)
 
 
 # ----------------------------------------------------------------------
@@ -208,6 +231,54 @@ class WaveUpdate:
     wave_shots: int     # shots contributed by this wave alone
     failures: int       # cumulative failures after the merge
     shots: int          # cumulative shots after the merge
+
+
+@dataclass(frozen=True)
+class FusionStats:
+    """Fused-dispatch breakdown of one executed ``run_sweep`` call.
+
+    Observability only: fusion shares dispatch overhead and draw scratch,
+    never variates, so none of these counters can correlate with the
+    numbers a sweep produces (grouping depends on backend timing; results
+    are grouping-invariant by construction).  ``Engine.run_sweep`` stores
+    the stats of its last call on :attr:`Engine.last_fusion`, and the sweep
+    benchmarks surface them in their BENCH JSON artifacts so fusion
+    efficacy is visible from CI.
+    """
+
+    dispatches: int = 0        # backend submissions + inline executions
+    fused_groups: int = 0      # dispatches that carried >= 2 shards
+    fused_shards: int = 0      # shards that travelled inside a fused group
+    total_shards: int = 0      # every shard the sweep executed
+    fused_tasks: int = 0       # distinct sweep items per fused group, summed
+    fused_shots: int = 0       # shots sampled inside fused groups
+    total_shots: int = 0       # every shot the sweep sampled
+    max_group_shards: int = 0  # largest single dispatch, in shards
+
+    @property
+    def fused_shot_fraction(self) -> float:
+        """Fraction of sampled shots that rode in a fused group."""
+        return self.fused_shots / self.total_shots if self.total_shots else 0.0
+
+    @property
+    def mean_group_tasks(self) -> float:
+        """Mean distinct sweep items per fused group (0 when nothing fused)."""
+        return self.fused_tasks / self.fused_groups if self.fused_groups else 0.0
+
+    def payload(self) -> dict:
+        """JSON-able counters + derived ratios for BENCH artifacts."""
+        return {
+            "dispatches": self.dispatches,
+            "fused_groups": self.fused_groups,
+            "fused_shards": self.fused_shards,
+            "total_shards": self.total_shards,
+            "fused_tasks": self.fused_tasks,
+            "fused_shots": self.fused_shots,
+            "total_shots": self.total_shots,
+            "max_group_shards": self.max_group_shards,
+            "fused_shot_fraction": self.fused_shot_fraction,
+            "mean_group_tasks": self.mean_group_tasks,
+        }
 
 
 class _SweepTaskRun:
@@ -349,6 +420,90 @@ def _run_ler_shard(task: LerPointTask, seed: Seed, shots: int) -> Tuple[int, int
             int(dem_size))
 
 
+def _run_fused_shards(jobs: Sequence[Tuple[LerPointTask, Seed, int]]) -> List[Tuple[int, int, int]]:
+    """Sample + decode one fused shard-group; one result triple per job.
+
+    The worker-side half of heterogeneous task fusion: every job's warm
+    pipeline is looked up (or built) in the task memo, the simulators are
+    compiled into one :class:`~repro.stabilizer.packed.FusedProgram`, and a
+    single invocation samples every segment against a shared draw scratch —
+    N sweep points advance on one dispatch.  Each segment consumes exactly
+    the RNG stream the unfused path binds to its (task, seed) coordinates,
+    so every returned triple is bit-identical to ``_run_ler_shard(*job)``;
+    fusion shares dispatch overhead, never variates.
+    """
+    contexts = [_context_for(task) for task, _, _ in jobs]
+    program = FusedProgram([pipeline.simulator for pipeline, _ in contexts])
+    sample_sets = program.run([(shots, seed) for _, seed, shots in jobs])
+    out: List[Tuple[int, int, int]] = []
+    for (pipeline, dem_size), samples, seconds in zip(
+            contexts, sample_sets, program.segment_seconds):
+        stats = pipeline.decode_samples(samples, sample_seconds=seconds,
+                                        fused_tasks=len(jobs))
+        pipeline.persist_memo()
+        out.append((int(stats.failures),
+                    int(pipeline.circuit.num_detectors), int(dem_size)))
+    return out
+
+
+def _plan_fused_groups(shards: Sequence[Tuple[str, int, object]], *,
+                       fuse_tasks: int, fuse_shots: int,
+                       target_groups: int = 1,
+                       shot_budget: Optional[int] = None) -> List[List]:
+    """Partition ready shard descriptors into dispatch groups.
+
+    ``shards`` is a sequence of ``(rng_mode, shots, entry)`` triples in
+    deterministic plan order; the returned groups partition the ``entry``
+    objects, preserving that order within and across groups.  Grouping is
+    *pure dispatch*: every shard's RNG stream is bound to its (task, seed,
+    shard index) coordinates before planning, so any grouping — including
+    the timing-dependent ``target_groups`` load split below — yields
+    bit-identical results; only wall-clock and the fusion counters move.
+
+    A shard is fusion-eligible when fusion is on (``fuse_tasks > 1``), its
+    rng-weighted cost (:func:`~repro.engine.scheduler.rng_mode_shot_cost`)
+    fits the ``fuse_shots`` budget, and its raw shot count fits the packed
+    draw-scratch row budget
+    (:func:`~repro.stabilizer.packed.fused_shot_budget`) — an oversized
+    segment would force the shared scratch every other segment inherits to
+    grow with it.  Ineligible shards dispatch as singletons.  Groups never
+    mix rng modes: exact and bitgen segments draw different stream kinds
+    and cannot share scratch.
+
+    ``target_groups`` (the caller's free backend slots) caps group size at
+    ``ceil(eligible / target_groups)`` so fusion never *serialises* work an
+    idle worker could overlap — batching is only worth its dispatch saving
+    once every slot already has something to chew on.
+    """
+    if shot_budget is None:
+        shot_budget = fused_shot_budget()
+    eligible = [fuse_tasks > 1 and shots <= shot_budget
+                and rng_mode_shot_cost(mode, shots) <= fuse_shots
+                for mode, shots, _ in shards]
+    cap = min(fuse_tasks, -(-sum(eligible) // max(target_groups, 1)))
+    groups: List[List] = []
+    open_group: Dict[str, List] = {}   # rng_mode -> group accepting members
+    open_cost: Dict[str, int] = {}
+    for (mode, shots, entry), ok in zip(shards, eligible):
+        if not ok or cap <= 1:
+            groups.append([entry])
+            continue
+        cost = rng_mode_shot_cost(mode, shots)
+        group = open_group.get(mode)
+        if group is not None and (len(group) >= cap
+                                  or open_cost[mode] + cost > fuse_shots):
+            del open_group[mode], open_cost[mode]
+            group = None
+        if group is None:
+            group = []
+            groups.append(group)
+            open_group[mode] = group
+            open_cost[mode] = 0
+        group.append(entry)
+        open_cost[mode] += cost
+    return groups
+
+
 def _run_patch_attempts(task: PatchSampleTask, root_fp, start: int, stop: int) -> list:
     """Evaluate attempt indices [start, stop); return accepted defect sets.
 
@@ -469,6 +624,9 @@ class Engine:
         self._cache = (ResultCache(self.config.cache_dir)
                        if self.config.cache_dir else None)
         self._backend: Optional[Backend] = None
+        #: Fusion counters of the most recent ``run_sweep`` (diagnostics
+        #: only — fusion is invisible in the numbers and the cache).
+        self.last_fusion: FusionStats = FusionStats()
 
     # ------------------------------------------------------------------
     @property
@@ -589,7 +747,14 @@ class Engine:
         cancellation) aborts the sweep cleanly: outstanding shards are
         cancelled on the backend and the exception propagates.  Items
         resolved from cache never produce updates.
+
+        Compatible pending shards are *fused* into shard-groups (see
+        :func:`_plan_fused_groups`) so one backend dispatch advances many
+        sweep points; grouping is pure dispatch — results and cache records
+        stay bit-identical to unfused execution — and the realised grouping
+        is reported on :attr:`last_fusion`.
         """
+        self.last_fusion = FusionStats()
         results: List[Optional[LerResult]] = [None] * len(items)
         runs: List[_SweepTaskRun] = []
         for i, item in enumerate(items):
@@ -616,54 +781,107 @@ class Engine:
     def _run_sweep_backend(self, runs: List[_SweepTaskRun],
                            results: List[Optional[LerResult]],
                            on_wave=None) -> None:
-        """Interleaved execution: one backend, shards of all runs in flight."""
+        """Interleaved + fused execution: shards of all runs share dispatches.
+
+        Planned shards collect in ``ready`` (deterministic plan order),
+        then each flush partitions them into fused shard-groups
+        (:func:`_plan_fused_groups`) and submits one backend call per
+        group.  Because every shard's RNG stream is bound before planning,
+        grouping affects wall-clock and the fusion counters only.
+        """
         backend = self.backend
-        pending: Dict = {}  # Future -> (run, wave slot)
+        fuse_tasks = self.config.fuse_tasks
+        fuse_shots = self.config.fuse_shots
+        pending: Dict = {}  # Future -> [(run, wave slot), ...] in job order
+        ready: List = []    # (run, slot, seed, shots) awaiting dispatch
         unfinished = len(runs)
+        counters = {"dispatches": 0, "fused_groups": 0, "fused_shards": 0,
+                    "total_shards": 0, "fused_tasks": 0, "fused_shots": 0,
+                    "total_shots": 0, "max_group_shards": 0}
 
         def notify(update: WaveUpdate) -> None:
             if on_wave is not None:
                 on_wave(update)
 
-        def submit_next_wave(run: _SweepTaskRun) -> None:
+        def plan_next_wave(run: _SweepTaskRun) -> None:
             nonlocal unfinished
-            while True:
-                wave = run.sched.next_wave()
-                if not wave:
-                    unfinished -= 1
-                    self._finish_sweep_run(run, run.result(), results)
-                    return
-                if (backend.inline_single_shard and len(wave) == 1
-                        and not pending and unfinished == 1):
-                    # A one-shard wave with nothing to overlap: run it in
-                    # the submitting process instead of paying round-trips
+            wave = run.sched.next_wave()
+            if not wave:
+                unfinished -= 1
+                self._finish_sweep_run(run, run.result(), results)
+                return
+            run.begin_wave(wave)
+            for slot, (idx, n) in enumerate(wave):
+                ready.append((run, slot, run.shard_seed(idx), n))
+
+        def complete(run: _SweepTaskRun, slot: int, out) -> None:
+            if run.complete_slot(slot, out):
+                notify(run.merge_wave())
+                plan_next_wave(run)
+
+        def record_group(group: List) -> None:
+            shots = sum(n for _, _, _, n in group)
+            counters["dispatches"] += 1
+            counters["total_shards"] += len(group)
+            counters["total_shots"] += shots
+            counters["max_group_shards"] = max(
+                counters["max_group_shards"], len(group))
+            if len(group) >= 2:
+                counters["fused_groups"] += 1
+                counters["fused_shards"] += len(group)
+                counters["fused_shots"] += shots
+                counters["fused_tasks"] += len(
+                    {id(run) for run, _, _, _ in group})
+
+        def flush() -> None:
+            while ready:
+                free = max(backend.parallel_slots - len(pending), 1)
+                entries = [(shard[0].item.task.rng_mode, shard[3], shard)
+                           for shard in ready]
+                groups = _plan_fused_groups(
+                    entries, fuse_tasks=fuse_tasks, fuse_shots=fuse_shots,
+                    target_groups=free)
+                ready.clear()
+                if (backend.inline_single_shard and unfinished == 1
+                        and not pending and len(groups) == 1
+                        and len(groups[0]) == 1):
+                    # A lone shard with nothing to overlap: run it in the
+                    # submitting process instead of paying round-trips
                     # (the pre-sweep starmap shortcut for single-job waves;
                     # remote backends opt out — their submitter may be a
                     # thin coordinator).
-                    idx, n = wave[0]
-                    run.begin_wave(wave)
-                    run.complete_slot(0, _run_ler_shard(
-                        run.item.task, run.shard_seed(idx), n))
-                    notify(run.merge_wave())
-                    continue
-                run.begin_wave(wave)
-                for slot, (idx, n) in enumerate(wave):
-                    fut = backend.submit(
-                        _run_ler_shard,
-                        (run.item.task, run.shard_seed(idx), n))
-                    pending[fut] = (run, slot)
+                    run, slot, seed, n = groups[0][0]
+                    record_group(groups[0])
+                    complete(run, slot, _run_ler_shard(run.item.task, seed, n))
+                    continue  # completion may have planned the next wave
+                for group in groups:
+                    record_group(group)
+                    if len(group) == 1:
+                        run, slot, seed, n = group[0]
+                        fut = backend.submit(
+                            _run_ler_shard, (run.item.task, seed, n))
+                    else:
+                        jobs = tuple((run.item.task, seed, n)
+                                     for run, _, seed, n in group)
+                        fut = backend.submit(_run_fused_shards, (jobs,))
+                    pending[fut] = [(run, slot) for run, slot, _, _ in group]
                 return
 
         try:
             for run in runs:
-                submit_next_wave(run)
+                plan_next_wave(run)
+            flush()
             while pending:
                 done = backend.wait_any(pending)
                 for fut in done:
-                    run, slot = pending.pop(fut)
-                    if run.complete_slot(slot, fut.result()):
-                        notify(run.merge_wave())
-                        submit_next_wave(run)
+                    slots = pending.pop(fut)
+                    outs = fut.result()
+                    if len(slots) == 1:
+                        outs = [outs]
+                    for (run, slot), out in zip(slots, outs):
+                        complete(run, slot, out)
+                flush()
+            self.last_fusion = FusionStats(**counters)
         except BaseException as exc:
             # A failing shard (or an interrupt) must not strand the other
             # items' shards on the backend; give the backend a chance to

@@ -28,10 +28,37 @@ from typing import List, Optional, Tuple
 
 from ..analysis.stats import wilson_interval
 
-__all__ = ["ShotPolicy", "ShotScheduler", "Shard"]
+__all__ = ["ShotPolicy", "ShotScheduler", "Shard", "rng_mode_shot_cost"]
 
 # One unit of work handed to a worker: (global shard index, shots to run).
 Shard = Tuple[int, int]
+
+#: Relative per-shot cost of each sampler RNG mode, as an exact fraction
+#: ``(num, den)``.  Bitgen draws ~4x fewer random bytes and skips the float
+#: compare/pack passes entirely, which measures out to roughly a third of
+#: the exact per-shot cost in the sampler benchmarks (BENCH_fast_rng.json).
+#: Ranking and fusion-grouping heuristic only — never part of any payload
+#: or cache key, and never a factor in results.
+_RNG_MODE_COST = {"exact": (1, 1), "bitgen": (1, 3)}
+
+
+def rng_mode_shot_cost(rng_mode: str, shots: int) -> int:
+    """``shots`` weighted by the mode's relative per-shot cost (ceiling).
+
+    Exact mode returns ``shots`` unchanged; bitgen prices at ~1/3 of exact,
+    rounded up so a nonzero request never prices at zero.  Unknown modes
+    raise a ``ValueError`` so a typo'd task field fails at ranking time
+    instead of silently mis-sorting jobs.
+    """
+    try:
+        num, den = _RNG_MODE_COST[rng_mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown rng_mode {rng_mode!r}; "
+            f"valid modes: {', '.join(sorted(_RNG_MODE_COST))}") from None
+    if shots <= 0:
+        return 0
+    return -(-shots * num // den)
 
 
 @dataclass(frozen=True)
@@ -113,20 +140,25 @@ class ShotPolicy:
         }
 
     def estimated_cost(self, shard_size: int = 4096,
-                       expected_rate: float = 0.0) -> int:
-        """Expected total shots under this policy (scheduler ranking metric).
+                       expected_rate: float = 0.0,
+                       rng_mode: str = "exact") -> int:
+        """Expected execution cost in exact-shot equivalents (ranking metric).
 
         Drives a real :class:`ShotScheduler` through its wave plan, crediting
         each wave with the failures a task of logical error rate
         ``expected_rate`` would be expected to produce (cumulative count
         rounded down, so the estimate is a deterministic integer), and
-        returns the shots spent when the plan stops.  With the conservative
+        prices the shots spent when the plan stops.  With the conservative
         default ``expected_rate=0.0`` no early-stop target is ever met, so
-        the estimate is the policy's worst case — exactly ``max_shots`` —
-        while a positive rate prices in adaptive early stopping.  The
-        returned number is what the actual scheduler would spend on a task
-        whose merged waves produced those failure counts, which is what the
-        unit tests pin it against.
+        the estimate is the policy's worst case — exactly ``max_shots`` for
+        exact mode — while a positive rate prices in adaptive early
+        stopping.  ``rng_mode`` weights the result by the sampler mode's
+        relative per-shot cost (:func:`rng_mode_shot_cost`): a bitgen task
+        prices at ~1/3 of an exact task with the same plan, so the service
+        priority scheduler and the fusion grouping budget rank it where its
+        wall-clock actually lands.  The exact-mode number is what the actual
+        scheduler would spend on a task whose merged waves produced those
+        failure counts, which is what the unit tests pin it against.
         """
         if expected_rate < 0.0:
             raise ValueError("expected_rate must be non-negative")
@@ -135,7 +167,7 @@ class ShotPolicy:
         while True:
             wave = sched.next_wave()
             if not wave:
-                return sched.shots_done
+                return rng_mode_shot_cost(rng_mode, sched.shots_done)
             wave_shots = sum(n for _, n in wave)
             expected = int(expected_rate * (sched.shots_done + wave_shots))
             failures = min(max(expected - credited, 0), wave_shots)

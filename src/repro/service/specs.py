@@ -258,14 +258,29 @@ def spec_estimated_cost(spec: dict, expected_rate: float = 0.0) -> float:
     """Estimated execution cost in shot-equivalents (scheduler ranking).
 
     LER jobs price each item with the policy's wave math
-    (:meth:`ShotPolicy.estimated_cost`); yield jobs price samples at
-    :data:`YIELD_SAMPLE_COST` shot-equivalents each.  Purely a ranking
-    heuristic — it never touches results.
+    (:meth:`ShotPolicy.estimated_cost`), weighted by the item's
+    ``rng_mode`` so a bitgen task prices at ~1/3 of an exact one with
+    the same plan; yield jobs price samples at :data:`YIELD_SAMPLE_COST`
+    shot-equivalents each.  Purely a ranking heuristic — it never
+    touches results.
     """
     if spec["kind"] == "yield":
         task, _ = yield_job(spec)
         return float(task.samples) * YIELD_SAMPLE_COST
     policy = policy_from_payload(spec["policy"])
     shard_size = spec["shard_size"]
-    count = 1 if spec["kind"] == "ler" else len(spec["tasks"])
-    return float(policy.estimated_cost(shard_size, expected_rate) * count)
+    if spec["kind"] == "ler":
+        payloads = [spec["task"]]
+    else:
+        payloads = spec["tasks"]
+    # Task payloads omit rng_mode when it is the "exact" default; cost a
+    # sweep's items per distinct mode (one wave-plan walk per mode).
+    cost_of: dict = {}
+    total = 0
+    for payload in payloads:
+        mode = str(payload.get("rng_mode", "exact"))
+        if mode not in cost_of:
+            cost_of[mode] = policy.estimated_cost(
+                shard_size, expected_rate, rng_mode=mode)
+        total += cost_of[mode]
+    return float(total)
